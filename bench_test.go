@@ -1,0 +1,328 @@
+// Package jabasd_bench contains the benchmark harness that regenerates every
+// experiment of the evaluation (see DESIGN.md section 4 and EXPERIMENTS.md):
+// one BenchmarkE<n>… target per experiment, plus micro-benchmarks for the
+// hot paths (per-frame scheduling, the LP/ILP solvers and the dynamic
+// simulator). Benchmarks run the quick experiment scale so that
+// `go test -bench=. -benchmem` finishes in minutes; cmd/jabaexp -scale full
+// produces the full-scale numbers recorded in EXPERIMENTS.md.
+package jabasd_bench
+
+import (
+	"testing"
+
+	"jabasd/internal/core"
+	"jabasd/internal/experiments"
+	"jabasd/internal/ilp"
+	"jabasd/internal/lp"
+	"jabasd/internal/measurement"
+	"jabasd/internal/rng"
+	"jabasd/internal/sim"
+	"jabasd/internal/vtaoc"
+)
+
+// benchScale is a reduced scale so that the full benchmark suite stays fast.
+var benchScale = experiments.Scale{
+	Name:         "bench",
+	SimTime:      6,
+	WarmupTime:   1,
+	Rings:        1,
+	Replications: 1,
+	LoadPoints:   []int{4, 10},
+}
+
+// ---------------------------------------------------------------------------
+// Experiment benchmarks (E1-E10): one per table/figure of the evaluation.
+// ---------------------------------------------------------------------------
+
+func BenchmarkE1AdaptivePhyThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E1AdaptivePhyThroughput(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2ModeOccupancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E2ModeOccupancy(15, 50_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3ForwardAdmission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E3ForwardAdmission(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4ReverseAdmission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E4ReverseAdmission(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5DelayVsLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E5DelayVsLoad(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6UserCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E6UserCapacity(benchScale, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7Coverage(b *testing.B) {
+	small := benchScale
+	small.LoadPoints = []int{4}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E7Coverage(small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8JointDesignAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E8JointDesignAblation(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9ObjectiveTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9ObjectiveTradeoff(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10MacStates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E10MacStates(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks for the design choices called out in DESIGN.md.
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationExactVsGreedyScheduler compares the per-frame cost of the
+// exact branch-and-bound JABA-SD against the greedy variant on a realistic
+// frame (8 concurrent requests, 3 binding cells).
+func BenchmarkAblationExactVsGreedyScheduler(b *testing.B) {
+	p := syntheticProblem(8, 3, 12345)
+	b.Run("exact", func(b *testing.B) {
+		s := core.NewJABASD()
+		s.GreedyFallbackSize = 0 // force exact
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Schedule(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		s := &core.GreedyJABASD{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Schedule(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fcfs", func(b *testing.B) {
+		s := &core.FCFS{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Schedule(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationAdaptiveVsFixedPHY measures the cost of the adaptive
+// throughput computation against the fixed-rate baseline.
+func BenchmarkAblationAdaptiveVsFixedPHY(b *testing.B) {
+	coder := vtaoc.MustNew(vtaoc.DefaultConfig())
+	fixed, err := vtaoc.NewFixedRate(coder, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("adaptive", func(b *testing.B) {
+		s := 0.0
+		for i := 0; i < b.N; i++ {
+			s += coder.AverageThroughput(float64(i%40) - 5)
+		}
+		_ = s
+	})
+	b.Run("fixed", func(b *testing.B) {
+		s := 0.0
+		for i := 0; i < b.N; i++ {
+			s += fixed.AverageThroughput(float64(i%40) - 5)
+		}
+		_ = s
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the substrates.
+// ---------------------------------------------------------------------------
+
+func BenchmarkSimplexSolve(b *testing.B) {
+	src := rng.New(3)
+	n, m := 12, 10
+	p := lp.Problem{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+	for j := 0; j < n; j++ {
+		p.C[j] = src.Uniform(0, 2)
+	}
+	for i := 0; i < m; i++ {
+		p.A[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			p.A[i][j] = src.Uniform(0, 1)
+		}
+		p.B[i] = src.Uniform(3, 10)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBranchAndBound(b *testing.B) {
+	src := rng.New(5)
+	n, m := 8, 4
+	p := ilp.Problem{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m), Upper: make([]int, n)}
+	for j := 0; j < n; j++ {
+		p.C[j] = src.Uniform(0, 2)
+		p.Upper[j] = 8
+	}
+	for i := 0; i < m; i++ {
+		p.A[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			p.A[i][j] = src.Uniform(0, 1)
+		}
+		p.B[i] = src.Uniform(4, 12)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ilp.BranchAndBound(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVTAOCAverageThroughput(b *testing.B) {
+	coder := vtaoc.MustNew(vtaoc.DefaultConfig())
+	b.ReportAllocs()
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		s += coder.AverageThroughput(float64(i%35) - 5)
+	}
+	_ = s
+}
+
+func BenchmarkForwardRegion(b *testing.B) {
+	src := rng.New(9)
+	nd := 8
+	reqs := make([]measurement.ForwardRequest, nd)
+	for j := 0; j < nd; j++ {
+		reqs[j] = measurement.ForwardRequest{
+			UserID:   j,
+			FCHPower: map[int]float64{j % 3: src.Uniform(0.1, 1), (j + 1) % 3: src.Uniform(0.1, 1)},
+			Alpha:    1,
+		}
+	}
+	state := measurement.ForwardState{CurrentLoad: []float64{10, 12, 8}, MaxLoad: 20, GammaS: 1.25}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := measurement.ForwardRegion(state, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicSimulationFrameRate(b *testing.B) {
+	// Measures whole-replication cost of the quick scenario; the per-frame
+	// cost is this divided by SimTime/FrameLength frames.
+	cfg := sim.DefaultConfig()
+	cfg.Rings = 1
+	cfg.SimTime = 4
+	cfg.WarmupTime = 1
+	cfg.DataUsersPerCell = 6
+	cfg.VoiceUsersPerCell = 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelReplications(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Rings = 1
+	cfg.SimTime = 3
+	cfg.WarmupTime = 1
+	cfg.DataUsersPerCell = 4
+	cfg.VoiceUsersPerCell = 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunReplications(cfg, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// syntheticProblem builds a reproducible admission problem for benchmarks.
+func syntheticProblem(nd, cells int, seed uint64) core.Problem {
+	src := rng.New(seed)
+	reqs := make([]core.Request, nd)
+	fwd := make([]measurement.ForwardRequest, nd)
+	for j := 0; j < nd; j++ {
+		reqs[j] = core.Request{
+			UserID:        j,
+			SizeBits:      src.Uniform(1e5, 2e6),
+			WaitingTime:   src.Uniform(0, 12),
+			AvgThroughput: src.Uniform(0.05, 1),
+			MaxRatio:      16,
+		}
+		powers := map[int]float64{}
+		powers[src.Intn(cells)] = src.Uniform(0.1, 1)
+		powers[src.Intn(cells)] = src.Uniform(0.1, 1)
+		fwd[j] = measurement.ForwardRequest{UserID: j, FCHPower: powers, Alpha: 1}
+	}
+	load := make([]float64, cells)
+	for k := range load {
+		load[k] = src.Uniform(5, 15)
+	}
+	region, err := measurement.ForwardRegion(measurement.ForwardState{
+		CurrentLoad: load, MaxLoad: 20, GammaS: 1.25,
+	}, fwd)
+	if err != nil {
+		panic(err)
+	}
+	return core.Problem{
+		Requests:  reqs,
+		Region:    region,
+		MaxRatio:  16,
+		Objective: core.DefaultObjective(),
+	}
+}

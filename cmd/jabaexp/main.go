@@ -1,0 +1,111 @@
+// Command jabaexp regenerates the experiment suite E1-E10 described in
+// DESIGN.md / EXPERIMENTS.md and prints every results table. With -out it
+// also writes one CSV file per experiment into the given directory.
+//
+// Usage:
+//
+//	jabaexp                 # quick scale, all experiments, ASCII tables
+//	jabaexp -scale full     # the scale used for the numbers in EXPERIMENTS.md
+//	jabaexp -only E1,E3     # subset
+//	jabaexp -out results/   # additionally write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"jabasd/internal/experiments"
+	"jabasd/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jabaexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jabaexp", flag.ContinueOnError)
+	var (
+		scaleName = fs.String("scale", "quick", "experiment scale: quick or full")
+		only      = fs.String("only", "", "comma separated experiment ids to run (e.g. E1,E5); empty = all")
+		outDir    = fs.String("out", "", "directory to write CSV results into (optional)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleName)
+	}
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	type expDef struct {
+		id  string
+		run func() (*report.Table, error)
+	}
+	defs := []expDef{
+		{"E1", experiments.E1AdaptivePhyThroughput},
+		{"E2", func() (*report.Table, error) { return experiments.E2ModeOccupancy(15, 200_000) }},
+		{"E3", func() (*report.Table, error) { return experiments.E3ForwardAdmission(40) }},
+		{"E4", func() (*report.Table, error) { return experiments.E4ReverseAdmission(40) }},
+		{"E5", func() (*report.Table, error) { return experiments.E5DelayVsLoad(scale) }},
+		{"E6", func() (*report.Table, error) { return experiments.E6UserCapacity(scale, 2) }},
+		{"E7", func() (*report.Table, error) { return experiments.E7Coverage(scale) }},
+		{"E8", func() (*report.Table, error) { return experiments.E8JointDesignAblation(scale) }},
+		{"E9", func() (*report.Table, error) { return experiments.E9ObjectiveTradeoff(scale) }},
+		{"E10", func() (*report.Table, error) { return experiments.E10MacStates(scale) }},
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	for _, d := range defs {
+		if len(wanted) > 0 && !wanted[d.id] {
+			continue
+		}
+		tbl, err := d.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.id, err)
+		}
+		fmt.Printf("\n")
+		if err := tbl.WriteASCII(os.Stdout); err != nil {
+			return err
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, strings.ToLower(d.id)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := tbl.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("(written to %s)\n", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAnalyticExperimentsOnly(t *testing.T) {
+	if err := run([]string{"-only", "E1,E2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-only", "E1", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "e1.csv")); err != nil {
+		t.Errorf("expected e1.csv to be written: %v", err)
+	}
+}
+
+func TestRunUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Error("unknown scale should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunLowercaseIDsAccepted(t *testing.T) {
+	if err := run([]string{"-only", "e1"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	if err := run([]string{"-trace", "0.1", "-csi", "18", "-doppler", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomOperatingPoint(t *testing.T) {
+	if err := run([]string{"-ber", "1e-4", "-modes", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	if err := run([]string{"-modes", "0"}); err == nil {
+		t.Error("zero modes should fail")
+	}
+	if err := run([]string{"-ber", "0.9"}); err == nil {
+		t.Error("BER above 0.5 should fail")
+	}
+	if err := run([]string{"-unknown"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,133 @@
+// Command jabasim runs one burst-admission simulation scenario and prints
+// the resulting metrics.
+//
+// Usage:
+//
+//	jabasim -preset smoke -scheduler jaba-sd -reps 2
+//	jabasim -config scenario.json
+//	jabasim -preset baseline -dump-config > scenario.json
+//
+// The -preset flag selects a named scenario (see -list-presets); -config
+// loads a JSON file produced by -dump-config. Individual flags override the
+// chosen base configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jabasd/internal/scenario"
+	"jabasd/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jabasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jabasim", flag.ContinueOnError)
+	var (
+		preset      = fs.String("preset", scenario.PresetSmoke, "named scenario preset")
+		configPath  = fs.String("config", "", "JSON scenario file (overrides -preset)")
+		listPresets = fs.Bool("list-presets", false, "list available presets and exit")
+		dumpConfig  = fs.Bool("dump-config", false, "print the effective config as JSON and exit")
+		scheduler   = fs.String("scheduler", "", "scheduler: jaba-sd, jaba-sd-greedy, fcfs, equal-share, random")
+		direction   = fs.String("direction", "", "link direction: forward or reverse")
+		users       = fs.Int("data-users", -1, "data users per cell (override)")
+		simTime     = fs.Float64("sim-time", -1, "simulated seconds (override)")
+		seed        = fs.Uint64("seed", 0, "base random seed (override when non-zero)")
+		reps        = fs.Int("reps", 1, "independent replications (parallel)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listPresets {
+		for _, n := range scenario.Names() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+
+	var cfg sim.Config
+	var err error
+	if *configPath != "" {
+		cfg, err = scenario.Load(*configPath)
+	} else {
+		cfg, err = scenario.Lookup(*preset)
+	}
+	if err != nil {
+		return err
+	}
+	if *scheduler != "" {
+		cfg.Scheduler = sim.SchedulerKind(*scheduler)
+	}
+	switch *direction {
+	case "":
+	case "forward":
+		cfg.Direction = sim.Forward
+	case "reverse":
+		cfg.Direction = sim.Reverse
+	default:
+		return fmt.Errorf("unknown direction %q", *direction)
+	}
+	if *users >= 0 {
+		cfg.DataUsersPerCell = *users
+	}
+	if *simTime > 0 {
+		cfg.SimTime = *simTime
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	if *dumpConfig {
+		data, err := scenario.Encode(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+
+	if *reps <= 1 {
+		m, err := sim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		printMetrics(m)
+		return nil
+	}
+	agg, err := sim.RunReplications(cfg, *reps)
+	if err != nil {
+		return err
+	}
+	fmt.Println(agg.String())
+	fmt.Printf("  mean delay        : %.3f s (95%% CI ±%.3f)\n", agg.MeanDelay.Mean(), agg.MeanDelay.ConfidenceInterval95())
+	fmt.Printf("  p90 delay         : %.3f s\n", agg.P90Delay.Mean())
+	fmt.Printf("  throughput / cell : %.0f bit/s\n", agg.Throughput.Mean())
+	fmt.Printf("  coverage          : %.3f\n", agg.Coverage.Mean())
+	fmt.Printf("  mean cell load    : %.3f\n", agg.CellLoad.Mean())
+	fmt.Printf("  completion ratio  : %.3f\n", agg.CompletionRate.Mean())
+	return nil
+}
+
+func printMetrics(m *sim.Metrics) {
+	fmt.Println(m.String())
+	fmt.Printf("  bursts generated  : %d\n", m.BurstsGenerated)
+	fmt.Printf("  bursts completed  : %d\n", m.BurstsCompleted)
+	fmt.Printf("  mean delay        : %.3f s\n", m.MeanBurstDelay())
+	fmt.Printf("  p90 delay         : %.3f s\n", m.P90BurstDelay())
+	fmt.Printf("  mean admission wait: %.3f s\n", m.AdmissionWait.Mean())
+	fmt.Printf("  throughput / cell : %.0f bit/s\n", m.ThroughputPerCell())
+	fmt.Printf("  coverage          : %.3f\n", m.Coverage())
+	fmt.Printf("  mean cell load    : %.3f\n", m.CellLoad.Mean())
+	fmt.Printf("  mean queue length : %.2f\n", m.QueueLength.Mean())
+	fmt.Printf("  mean granted ratio: %.2f\n", m.AssignedRatio.Mean())
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunListPresets(t *testing.T) {
+	if err := run([]string{"-list-presets"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDumpConfig(t *testing.T) {
+	if err := run([]string{"-preset", "smoke", "-dump-config"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmokeSingleReplication(t *testing.T) {
+	if err := run([]string{"-preset", "smoke", "-sim-time", "4", "-data-users", "3", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmokeMultiReplication(t *testing.T) {
+	if err := run([]string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-reps", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReverseDirectionOverride(t *testing.T) {
+	if err := run([]string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-direction", "reverse"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-direction", "forward"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSchedulerOverride(t *testing.T) {
+	if err := run([]string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-scheduler", "fcfs"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-preset", "no-such-preset"},
+		{"-direction", "sideways"},
+		{"-preset", "smoke", "-scheduler", "bogus"},
+		{"-config", filepath.Join(t.TempDir(), "missing.json")},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestRunFromConfigFile(t *testing.T) {
+	// Produce a config file via -dump-config equivalent path: write a small
+	// JSON override and load it back.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	content := []byte(`{"Rings": 1, "SimTime": 3, "WarmupTime": 1, "DataUsersPerCell": 2, "VoiceUsersPerCell": 2}`)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path}); err != nil {
+		t.Fatal(err)
+	}
+}

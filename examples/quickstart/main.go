@@ -1,0 +1,91 @@
+// Quickstart: build one frame's multiple-burst admission problem by hand and
+// compare the assignment chosen by JABA-SD with the cdma2000-style FCFS and
+// the equal-sharing baselines.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jabasd/internal/core"
+	"jabasd/internal/measurement"
+	"jabasd/internal/vtaoc"
+)
+
+func main() {
+	// The adaptive physical layer: a 6-mode VTAOC coder in constant-BER mode.
+	coder := vtaoc.MustNew(vtaoc.DefaultConfig())
+	plan := vtaoc.DefaultRatePlan()
+
+	// Three data users ask for a burst in the same frame. Their local-mean
+	// CSI differs (cell centre vs cell edge), so the channel-adaptive layer
+	// offers them different average throughputs bp_j.
+	meanCSIs := []float64{24.0, 18.0, 12.5} // dB
+	waits := []float64{0.3, 2.5, 11.0}      // seconds in the queue
+	sizes := []float64{1.2e6, 0.6e6, 0.8e6} // burst sizes in bits
+
+	requests := make([]core.Request, 3)
+	fwd := make([]measurement.ForwardRequest, 3)
+	for j := range requests {
+		bp := coder.AverageThroughput(meanCSIs[j])
+		requests[j] = core.Request{
+			UserID:        j,
+			SizeBits:      sizes[j],
+			WaitingTime:   waits[j],
+			AvgThroughput: bp,
+			MaxRatio:      plan.MaxUsefulRatio(sizes[j], bp, 0.08),
+		}
+		// The measurement sub-layer reports how much forward power each
+		// user's fundamental channel needs at the (single) serving cell.
+		fwd[j] = measurement.ForwardRequest{
+			UserID:   j,
+			FCHPower: map[int]float64{0: 0.3 + 0.4*float64(j)},
+			Alpha:    1,
+		}
+	}
+
+	// Forward-link admissible region: the cell has 20 W, 12 W already in use.
+	region, err := measurement.ForwardRegion(measurement.ForwardState{
+		CurrentLoad: []float64{12},
+		MaxLoad:     20,
+		GammaS:      plan.GammaS,
+	}, fwd)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	problem := core.Problem{
+		Requests:  requests,
+		Region:    region,
+		MaxRatio:  plan.MaxSpreadingRatio,
+		Objective: core.DefaultObjective(),
+	}
+
+	fmt.Println("request  meanCSI  bp(bits/sym)  waited  maxRatio")
+	for j, r := range requests {
+		fmt.Printf("   %d      %5.1f     %7.4f     %4.1fs     %2d\n",
+			j, meanCSIs[j], r.AvgThroughput, r.WaitingTime, r.MaxRatio)
+	}
+	fmt.Println()
+
+	for _, s := range []core.Scheduler{core.NewJABASD(), &core.FCFS{}, &core.EqualShare{}} {
+		a, err := s.Schedule(problem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s grants m = %v  (objective %.3f, %d served)\n",
+			s.Name(), a.Ratios, a.Objective, a.Served())
+		for j, m := range a.Ratios {
+			if m == 0 {
+				continue
+			}
+			rate := plan.SCHBitRate(m, requests[j].AvgThroughput)
+			fmt.Printf("    user %d: %d× spreading ratio → %.0f kbit/s, burst drains in %.2f s\n",
+				j, m, rate/1000, plan.BurstDuration(sizes[j], m, requests[j].AvgThroughput))
+		}
+	}
+}

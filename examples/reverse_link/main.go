@@ -1,0 +1,102 @@
+// Reverse-link burst admission demo: shows the measurement sub-layer at work
+// for the interference-limited reverse link, including the SCRM-based
+// protection of neighbour cells that are not in soft hand-off (paper
+// equations 13-15), and then runs a short reverse-link dynamic simulation.
+//
+// Run with:
+//
+//	go run ./examples/reverse_link
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jabasd/internal/core"
+	"jabasd/internal/measurement"
+	"jabasd/internal/sim"
+)
+
+func main() {
+	// --- Part 1: a hand-built reverse-link admission frame --------------------
+	// Three cells, interference tracked in rise-over-thermal units: the noise
+	// floor contributes 1, the cap is 10 (10 dB rise over thermal).
+	state := measurement.ReverseState{
+		TotalReceived: []float64{4.0, 3.0, 2.5},
+		MaxReceived:   10,
+		GammaS:        1.25,
+		ShadowMargin:  1.5,
+	}
+
+	// User 0 is in soft hand-off between cells 0 and 1. User 1 is served by
+	// cell 1 only, but its SCRM reports a strong pilot from cell 2, so its
+	// burst must not blow cell 2's interference budget either.
+	requests := []measurement.ReverseRequest{
+		{
+			UserID:       0,
+			HostCell:     0,
+			ReversePilot: map[int]float64{0: 0.015, 1: 0.009},
+			SCRM:         measurement.NewSCRM(map[int]float64{0: 0.06, 1: 0.04, 2: 0.01}),
+			Zeta:         4,
+			Alpha:        1,
+		},
+		{
+			UserID:       1,
+			HostCell:     1,
+			ReversePilot: map[int]float64{1: 0.02},
+			SCRM:         measurement.NewSCRM(map[int]float64{1: 0.07, 2: 0.05}),
+			Zeta:         4,
+			Alpha:        1,
+		},
+	}
+	region, err := measurement.ReverseRegion(state, requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Reverse-link admissible region (rows = protected cells):")
+	for i, cell := range region.Cells {
+		fmt.Printf("  cell %d: %.3f·m0 + %.3f·m1 <= %.3f\n",
+			cell, region.Coeff[i][0], region.Coeff[i][1], region.Bound[i])
+	}
+
+	problem := core.Problem{
+		Requests: []core.Request{
+			{UserID: 0, SizeBits: 900_000, WaitingTime: 1.0, AvgThroughput: 0.5, MaxRatio: 16},
+			{UserID: 1, SizeBits: 400_000, WaitingTime: 6.0, AvgThroughput: 0.25, MaxRatio: 16},
+		},
+		Region:    region,
+		MaxRatio:  16,
+		Objective: core.DefaultObjective(),
+	}
+	for _, s := range []core.Scheduler{core.NewJABASD(), &core.FCFS{}} {
+		a, err := s.Schedule(problem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s grants m = %v (objective %.3f), headroom left per cell: ", s.Name(), a.Ratios, a.Objective)
+		for i, h := range region.Headroom(a.Ratios) {
+			fmt.Printf("cell%d=%.2f ", region.Cells[i], h)
+		}
+		fmt.Println()
+	}
+
+	// --- Part 2: reverse-link dynamic simulation ------------------------------
+	cfg := sim.DefaultConfig()
+	cfg.Direction = sim.Reverse
+	cfg.Rings = 1
+	cfg.SimTime = 20
+	cfg.WarmupTime = 4
+	cfg.DataUsersPerCell = 8
+	cfg.Data.MeanReadingTimeSec = 5
+
+	fmt.Println("\nReverse-link dynamic simulation (20 s, 7 cells):")
+	for _, k := range []sim.SchedulerKind{sim.SchedulerJABASD, sim.SchedulerFCFS} {
+		cfg.Scheduler = k
+		m, err := sim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s mean delay %.3f s, p90 %.3f s, completed %d/%d bursts, mean rise-over-thermal use %.2f\n",
+			k, m.MeanBurstDelay(), m.P90BurstDelay(), m.BurstsCompleted, m.BurstsGenerated, m.CellLoad.Mean())
+	}
+}

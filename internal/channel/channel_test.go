@@ -1,0 +1,202 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jabasd/internal/rng"
+)
+
+func TestPathLossMonotone(t *testing.T) {
+	pl := DefaultPathLoss()
+	prev := pl.LossDB(20)
+	for d := 50.0; d <= 5000; d += 50 {
+		cur := pl.LossDB(d)
+		if cur <= prev {
+			t.Fatalf("path loss not increasing at d=%v: %v <= %v", d, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestPathLossReferencePoint(t *testing.T) {
+	pl := DefaultPathLoss()
+	if math.Abs(pl.LossDB(1000)-128.1) > 1e-9 {
+		t.Errorf("loss at reference distance = %v, want 128.1", pl.LossDB(1000))
+	}
+	// One decade further: +10*n dB.
+	if math.Abs(pl.LossDB(10000)-(128.1+37)) > 1e-9 {
+		t.Errorf("loss at 10 km = %v", pl.LossDB(10000))
+	}
+}
+
+func TestPathLossClampsNearField(t *testing.T) {
+	pl := DefaultPathLoss()
+	if pl.LossDB(0.001) != pl.LossDB(pl.MinDistance) {
+		t.Error("near-field distances should be clamped")
+	}
+	if pl.Gain(100) <= 0 || pl.Gain(100) >= 1 {
+		t.Errorf("gain at 100 m = %v, want in (0,1)", pl.Gain(100))
+	}
+}
+
+func TestPathLossGainConsistent(t *testing.T) {
+	pl := DefaultPathLoss()
+	f := func(d float64) bool {
+		d = math.Abs(d)
+		if d > 1e7 || math.IsNaN(d) {
+			return true
+		}
+		g := pl.Gain(d)
+		back := -10 * math.Log10(g)
+		return math.Abs(back-pl.LossDB(d)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShadowingStatistics(t *testing.T) {
+	src := rng.New(5)
+	s := NewShadowing(src, 8, 50)
+	n := 50000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		// Move far each step so samples are nearly independent.
+		v := s.Advance(500)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sumsq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.3 {
+		t.Errorf("shadowing mean = %v, want ~0", mean)
+	}
+	if math.Abs(sd-8) > 0.5 {
+		t.Errorf("shadowing std = %v, want ~8", sd)
+	}
+}
+
+func TestShadowingCorrelation(t *testing.T) {
+	src := rng.New(7)
+	s := NewShadowing(src, 8, 50)
+	v0 := s.Advance(0)
+	v1 := s.Advance(1) // 1 m travelled => rho = exp(-1/50) ~ 0.98
+	if math.Abs(v1-v0) > 8 {
+		t.Errorf("shadowing jumped too far over 1 m: %v -> %v", v0, v1)
+	}
+	// Negative distances are treated as zero travel (perfect correlation in mean).
+	v2 := s.Advance(-10)
+	if math.IsNaN(v2) {
+		t.Error("Advance(-10) produced NaN")
+	}
+	if s.CurrentDB() != v2 {
+		t.Error("CurrentDB should track last Advance")
+	}
+	if math.Abs(s.CurrentGain()-math.Pow(10, v2/10)) > 1e-12 {
+		t.Error("CurrentGain inconsistent with CurrentDB")
+	}
+}
+
+func TestLinkLongTermGain(t *testing.T) {
+	src := rng.New(11)
+	cfg := DefaultLinkConfig()
+	cfg.ShadowSigmaDB = 0 // isolate path loss
+	l := NewLink(src, cfg)
+	l.Update(1000, 0)
+	if math.Abs(l.LongTermGainDB()-(-128.1)) > 1e-9 {
+		t.Errorf("long-term gain = %v dB, want -128.1", l.LongTermGainDB())
+	}
+	if l.Distance() != 1000 {
+		t.Errorf("Distance = %v", l.Distance())
+	}
+	l.Update(2000, 1000)
+	if l.LongTermGainDB() >= -128.1 {
+		t.Error("gain should decrease with distance")
+	}
+}
+
+func TestLinkInstantGainPositive(t *testing.T) {
+	src := rng.New(13)
+	l := NewLink(src, DefaultLinkConfig())
+	l.Update(800, 0)
+	for i := 0; i < 100; i++ {
+		g := l.InstantGain(float64(i) * 0.01)
+		if g <= 0 || math.IsNaN(g) {
+			t.Fatalf("InstantGain must be positive, got %v", g)
+		}
+	}
+}
+
+func TestLinkFastFadingUnitMean(t *testing.T) {
+	src := rng.New(17)
+	l := NewLink(src, DefaultLinkConfig())
+	l.Update(500, 0)
+	n := 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += l.FastGain(float64(i) * 0.013)
+	}
+	mean := sum / float64(n)
+	if mean < 0.6 || mean > 1.4 {
+		t.Errorf("fast fading mean power = %v, want ~1", mean)
+	}
+}
+
+func TestEstimatedCSITracksTrueGain(t *testing.T) {
+	src := rng.New(19)
+	cfg := DefaultLinkConfig()
+	cfg.EstimationErrorDB = 0
+	cfg.FeedbackDelayS = 0
+	l := NewLink(src, cfg)
+	l.Update(600, 0)
+	for i := 0; i < 50; i++ {
+		tm := float64(i) * 0.02
+		if math.Abs(l.EstimatedCSIDB(tm)-l.InstantGainDB(tm)) > 1e-9 {
+			t.Fatal("with no error/delay the CSI must equal the true gain")
+		}
+	}
+}
+
+func TestEstimatedCSIWithErrorDiffers(t *testing.T) {
+	src := rng.New(23)
+	cfg := DefaultLinkConfig()
+	cfg.EstimationErrorDB = 2
+	l := NewLink(src, cfg)
+	l.Update(600, 0)
+	same := 0
+	for i := 0; i < 100; i++ {
+		tm := float64(i) * 0.02
+		if l.EstimatedCSIDB(tm) == l.InstantGainDB(tm) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("CSI with estimation error equals true gain too often: %d/100", same)
+	}
+}
+
+func TestEstimatedCSINegativeTimeClamped(t *testing.T) {
+	src := rng.New(29)
+	cfg := DefaultLinkConfig()
+	cfg.FeedbackDelayS = 1.0
+	cfg.EstimationErrorDB = 0
+	l := NewLink(src, cfg)
+	l.Update(600, 0)
+	// t < delay: effective time clamps to zero, must not panic or NaN.
+	v := l.EstimatedCSIDB(0.5)
+	if math.IsNaN(v) {
+		t.Error("CSI at clamped time is NaN")
+	}
+}
+
+func TestInstantGainDBFloor(t *testing.T) {
+	// Even for an absurd distance the dB conversion must not return -Inf.
+	src := rng.New(31)
+	l := NewLink(src, DefaultLinkConfig())
+	l.Update(1e7, 0)
+	if math.IsInf(l.InstantGainDB(0), 0) || math.IsNaN(l.InstantGainDB(0)) {
+		t.Error("InstantGainDB should be finite")
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+	"sort"
+)
+
+// The paper notes (Section 3.2) that the full scheduling space has both a
+// spatial dimension (which requests get which spreading ratio) and a temporal
+// dimension (when each admitted burst starts), but JABA-SD restricts itself
+// to the spatial dimension with every admitted burst starting at the next
+// frame boundary. TemporalPlanner implements the temporal extension the
+// paper leaves as future work: given the spatial assignment of the current
+// frame it also plans start offsets for the requests that could not be
+// admitted now, by simulating the release of the resources held by the
+// bursts granted ahead of them.
+
+// PlannedBurst is one entry of a temporal plan.
+type PlannedBurst struct {
+	RequestIndex int
+	Ratio        int
+	// StartOffset is the planned start time relative to the current frame
+	// boundary, in seconds (0 = starts now).
+	StartOffset float64
+	// Duration is the expected burst duration Q_j / R_j at the planned ratio,
+	// in seconds.
+	Duration float64
+}
+
+// TemporalPlan is the output of the temporal planner: the bursts that start
+// now (the spatial assignment) plus the deferred bursts with their planned
+// start offsets.
+type TemporalPlan struct {
+	Now      []PlannedBurst
+	Deferred []PlannedBurst
+}
+
+// TotalPlanned returns the number of requests with a non-zero planned ratio.
+func (p TemporalPlan) TotalPlanned() int { return len(p.Now) + len(p.Deferred) }
+
+// MaxStartOffset returns the largest planned start offset.
+func (p TemporalPlan) MaxStartOffset() float64 {
+	m := 0.0
+	for _, b := range p.Deferred {
+		if b.StartOffset > m {
+			m = b.StartOffset
+		}
+	}
+	return m
+}
+
+// TemporalPlanner augments a spatial Scheduler with start-time planning.
+type TemporalPlanner struct {
+	// Spatial is the scheduler used for the "start now" assignment and for
+	// each re-planning step; defaults to JABA-SD.
+	Spatial Scheduler
+	// RateForRatio converts an assignment (ratio, average throughput) into a
+	// served bit rate in bits/second; required to estimate burst durations.
+	RateForRatio func(ratio int, avgThroughput float64) float64
+	// Horizon bounds how far into the future (seconds) bursts may be planned.
+	Horizon float64
+	// MaxSteps bounds the number of planning iterations.
+	MaxSteps int
+}
+
+// ErrNoRateModel is returned when the planner has no RateForRatio function.
+var ErrNoRateModel = errors.New("core: TemporalPlanner requires RateForRatio")
+
+// Plan computes a temporal plan for the problem. The spatial assignment of
+// the first step starts immediately; requests rejected in that step are
+// re-scheduled at the time the earliest-finishing planned burst releases its
+// resources, repeatedly, until every request is planned, the horizon is
+// reached, or MaxSteps planning steps have run.
+func (tp *TemporalPlanner) Plan(p Problem) (TemporalPlan, error) {
+	if tp.RateForRatio == nil {
+		return TemporalPlan{}, ErrNoRateModel
+	}
+	spatial := tp.Spatial
+	if spatial == nil {
+		spatial = NewJABASD()
+	}
+	horizon := tp.Horizon
+	if horizon <= 0 {
+		horizon = 30
+	}
+	maxSteps := tp.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 16
+	}
+	if err := p.Validate(); err != nil {
+		return TemporalPlan{}, err
+	}
+
+	type pending struct {
+		origIndex int
+		req       Request
+	}
+	pendingReqs := make([]pending, len(p.Requests))
+	for i, r := range p.Requests {
+		pendingReqs[i] = pending{origIndex: i, req: r}
+	}
+
+	// active holds planned bursts that are occupying resources, with their
+	// per-row consumption and finish times.
+	type activeBurst struct {
+		finish float64
+		usage  []float64 // per region row
+	}
+	var active []activeBurst
+	plan := TemporalPlan{}
+	now := 0.0
+
+	baseBound := append([]float64(nil), p.Region.Bound...)
+
+	for step := 0; step < maxSteps && len(pendingReqs) > 0 && now <= horizon; step++ {
+		// Build the sub-problem for the still-pending requests with bounds
+		// reduced by the resources of the bursts active at time `now`.
+		bound := append([]float64(nil), baseBound...)
+		for _, a := range active {
+			if a.finish > now {
+				for i := range bound {
+					bound[i] -= a.usage[i]
+				}
+			}
+		}
+		sub := Problem{
+			MaxRatio:  p.MaxRatio,
+			Objective: p.Objective,
+			MAC:       p.MAC,
+		}
+		sub.Requests = make([]Request, len(pendingReqs))
+		for i, pr := range pendingReqs {
+			sub.Requests[i] = pr.req
+			// Account for the time already spent waiting in the plan.
+			sub.Requests[i].WaitingTime += now
+		}
+		sub.Region.Bound = bound
+		sub.Region.Cells = p.Region.Cells
+		sub.Region.Coeff = make([][]float64, len(p.Region.Coeff))
+		for i, row := range p.Region.Coeff {
+			newRow := make([]float64, len(pendingReqs))
+			for j, pr := range pendingReqs {
+				newRow[j] = row[pr.origIndex]
+			}
+			sub.Region.Coeff[i] = newRow
+		}
+
+		assignment, err := spatial.Schedule(sub)
+		if err != nil {
+			return TemporalPlan{}, err
+		}
+
+		granted := false
+		var stillPending []pending
+		for j, pr := range pendingReqs {
+			m := 0
+			if j < len(assignment.Ratios) {
+				m = assignment.Ratios[j]
+			}
+			if m <= 0 {
+				stillPending = append(stillPending, pr)
+				continue
+			}
+			granted = true
+			rate := tp.RateForRatio(m, pr.req.AvgThroughput)
+			dur := horizon
+			if rate > 0 {
+				dur = pr.req.SizeBits / rate
+			}
+			usage := make([]float64, len(p.Region.Coeff))
+			for i, row := range p.Region.Coeff {
+				usage[i] = row[pr.origIndex] * float64(m)
+			}
+			pb := PlannedBurst{RequestIndex: pr.origIndex, Ratio: m, StartOffset: now, Duration: dur}
+			if now == 0 {
+				plan.Now = append(plan.Now, pb)
+			} else {
+				plan.Deferred = append(plan.Deferred, pb)
+			}
+			active = append(active, activeBurst{finish: now + dur, usage: usage})
+		}
+		pendingReqs = stillPending
+		if len(pendingReqs) == 0 {
+			break
+		}
+		// Advance to the next resource-release instant.
+		next := horizon + 1
+		for _, a := range active {
+			if a.finish > now && a.finish < next {
+				next = a.finish
+			}
+		}
+		if !granted && next > horizon {
+			break // nothing admitted and nothing will free up: give up
+		}
+		if next <= now {
+			next = now + 1e-3
+		}
+		now = next
+	}
+
+	sort.Slice(plan.Deferred, func(i, j int) bool {
+		return plan.Deferred[i].StartOffset < plan.Deferred[j].StartOffset
+	})
+	return plan, nil
+}

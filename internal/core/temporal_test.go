@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"jabasd/internal/measurement"
+	"jabasd/internal/vtaoc"
+)
+
+func rateModel() func(int, float64) float64 {
+	plan := vtaoc.DefaultRatePlan()
+	return func(m int, bp float64) float64 { return plan.SCHBitRate(m, bp) }
+}
+
+func TestTemporalPlannerRequiresRateModel(t *testing.T) {
+	tp := &TemporalPlanner{}
+	if _, err := tp.Plan(smallProblem(ObjectiveThroughput)); err != ErrNoRateModel {
+		t.Errorf("expected ErrNoRateModel, got %v", err)
+	}
+}
+
+func TestTemporalPlannerRejectsInvalidProblem(t *testing.T) {
+	tp := &TemporalPlanner{RateForRatio: rateModel()}
+	bad := smallProblem(ObjectiveThroughput)
+	bad.MaxRatio = 0
+	if _, err := tp.Plan(bad); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestTemporalPlannerAllFitNow(t *testing.T) {
+	// Plenty of headroom: everything starts at offset zero, nothing deferred.
+	region := measurement.Region{Coeff: [][]float64{{0.1, 0.1}}, Bound: []float64{100}, Cells: []int{0}}
+	p := Problem{
+		Requests: []Request{
+			{UserID: 0, SizeBits: 1e5, AvgThroughput: 0.5, MaxRatio: 8},
+			{UserID: 1, SizeBits: 2e5, AvgThroughput: 0.5, MaxRatio: 8},
+		},
+		Region:    region,
+		MaxRatio:  8,
+		Objective: Objective{Kind: ObjectiveThroughput},
+	}
+	tp := &TemporalPlanner{RateForRatio: rateModel()}
+	plan, err := tp.Plan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Now) != 2 || len(plan.Deferred) != 0 {
+		t.Fatalf("plan = now %d deferred %d, want 2/0", len(plan.Now), len(plan.Deferred))
+	}
+	if plan.MaxStartOffset() != 0 {
+		t.Errorf("MaxStartOffset = %v", plan.MaxStartOffset())
+	}
+	for _, b := range plan.Now {
+		if b.Duration <= 0 {
+			t.Errorf("planned duration must be positive, got %v", b.Duration)
+		}
+	}
+}
+
+func TestTemporalPlannerDefersWhenFull(t *testing.T) {
+	// Two identical requests but the cell can only hold one at full ratio:
+	// the second must be deferred to roughly the first one's finish time.
+	region := measurement.Region{Coeff: [][]float64{{1, 1}}, Bound: []float64{4}, Cells: []int{0}}
+	p := Problem{
+		Requests: []Request{
+			{UserID: 0, SizeBits: 5e5, WaitingTime: 3, AvgThroughput: 0.5, MaxRatio: 4},
+			{UserID: 1, SizeBits: 5e5, WaitingTime: 0, AvgThroughput: 0.5, MaxRatio: 4},
+		},
+		Region:    region,
+		MaxRatio:  4,
+		Objective: Objective{Kind: ObjectiveThroughput},
+	}
+	tp := &TemporalPlanner{RateForRatio: rateModel(), Horizon: 1000}
+	plan, err := tp.Plan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalPlanned() != 2 {
+		t.Fatalf("planned %d of 2 requests", plan.TotalPlanned())
+	}
+	if len(plan.Now) != 1 || len(plan.Deferred) != 1 {
+		t.Fatalf("plan = now %d deferred %d, want 1/1", len(plan.Now), len(plan.Deferred))
+	}
+	first := plan.Now[0]
+	second := plan.Deferred[0]
+	if second.StartOffset <= 0 {
+		t.Error("deferred burst should start strictly later")
+	}
+	if second.StartOffset < first.Duration-1e-9 {
+		t.Errorf("deferred start %v should not precede the first burst's finish %v",
+			second.StartOffset, first.Duration)
+	}
+	if plan.MaxStartOffset() != second.StartOffset {
+		t.Error("MaxStartOffset inconsistent")
+	}
+}
+
+func TestTemporalPlannerHorizonBounds(t *testing.T) {
+	// With a horizon shorter than the first burst, the second request cannot
+	// be planned at all.
+	region := measurement.Region{Coeff: [][]float64{{1, 1}}, Bound: []float64{4}, Cells: []int{0}}
+	p := Problem{
+		Requests: []Request{
+			{UserID: 0, SizeBits: 5e6, AvgThroughput: 0.25, MaxRatio: 4},
+			{UserID: 1, SizeBits: 5e6, AvgThroughput: 0.25, MaxRatio: 4},
+		},
+		Region:    region,
+		MaxRatio:  4,
+		Objective: Objective{Kind: ObjectiveThroughput},
+	}
+	tp := &TemporalPlanner{RateForRatio: rateModel(), Horizon: 0.5}
+	plan, err := tp.Plan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Now) != 1 {
+		t.Fatalf("expected exactly one immediate burst, got %d", len(plan.Now))
+	}
+	if len(plan.Deferred) != 0 {
+		t.Errorf("deferred bursts beyond the horizon should not be planned: %+v", plan.Deferred)
+	}
+}
+
+func TestTemporalPlannerZeroCapacity(t *testing.T) {
+	// No headroom at all: nothing can ever be planned; the planner must
+	// terminate and return an empty plan.
+	region := measurement.Region{Coeff: [][]float64{{1}}, Bound: []float64{0.5}, Cells: []int{0}}
+	p := Problem{
+		Requests:  []Request{{UserID: 0, SizeBits: 1e6, AvgThroughput: 0.5, MaxRatio: 4}},
+		Region:    region,
+		MaxRatio:  4,
+		Objective: Objective{Kind: ObjectiveThroughput},
+	}
+	tp := &TemporalPlanner{RateForRatio: rateModel(), Horizon: 10, MaxSteps: 5}
+	plan, err := tp.Plan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalPlanned() != 0 {
+		t.Errorf("expected empty plan, got %+v", plan)
+	}
+}
+
+func TestTemporalPlannerDefaultSpatialScheduler(t *testing.T) {
+	region := measurement.Region{Coeff: [][]float64{{1}}, Bound: []float64{10}, Cells: []int{0}}
+	p := Problem{
+		Requests:  []Request{{UserID: 0, SizeBits: 1e5, AvgThroughput: 0.5, MaxRatio: 4}},
+		Region:    region,
+		MaxRatio:  4,
+		Objective: Objective{Kind: ObjectiveThroughput},
+	}
+	tp := &TemporalPlanner{RateForRatio: rateModel()} // Spatial nil => JABA-SD
+	plan, err := tp.Plan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Now) != 1 || plan.Now[0].Ratio != 4 {
+		t.Errorf("default spatial scheduler should grant the full ratio: %+v", plan.Now)
+	}
+}

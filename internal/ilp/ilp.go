@@ -1,0 +1,254 @@
+// Package ilp solves the small bounded-integer programs produced by the burst
+// admission scheduling sub-layer:
+//
+//	maximise    c'm  (+ constant)
+//	subject to  A m <= b
+//	            0 <= m_j <= ub_j,  m_j integer
+//
+// Two solvers are provided: an LP-relaxation branch-and-bound solver
+// (BranchAndBound) for general instances, and an exhaustive enumerator
+// (Exhaustive) used both for tiny instances and as a test oracle.
+package ilp
+
+import (
+	"errors"
+	"math"
+
+	"jabasd/internal/lp"
+)
+
+// ErrBadShape is returned when problem dimensions are inconsistent.
+var ErrBadShape = errors.New("ilp: inconsistent problem dimensions")
+
+// Problem is a bounded integer program. Upper bounds must be non-negative.
+type Problem struct {
+	C     []float64   // objective coefficients (maximise), length n
+	A     [][]float64 // constraint rows, each length n
+	B     []float64   // right-hand sides
+	Upper []int       // per-variable integer upper bound, length n
+}
+
+// Result is the outcome of an integer solve.
+type Result struct {
+	Feasible  bool
+	X         []int
+	Objective float64
+	Nodes     int // number of branch-and-bound nodes explored (0 for Exhaustive)
+}
+
+func (p Problem) validate() error {
+	n := len(p.C)
+	if len(p.Upper) != n {
+		return ErrBadShape
+	}
+	if len(p.A) != len(p.B) {
+		return ErrBadShape
+	}
+	for _, row := range p.A {
+		if len(row) != n {
+			return ErrBadShape
+		}
+	}
+	for _, u := range p.Upper {
+		if u < 0 {
+			return ErrBadShape
+		}
+	}
+	return nil
+}
+
+// objective evaluates c'x.
+func (p Problem) objective(x []int) float64 {
+	s := 0.0
+	for i, c := range p.C {
+		s += c * float64(x[i])
+	}
+	return s
+}
+
+// feasible reports whether x satisfies A x <= b and the bounds.
+func (p Problem) feasible(x []int) bool {
+	for i, xi := range x {
+		if xi < 0 || xi > p.Upper[i] {
+			return false
+		}
+	}
+	for r, row := range p.A {
+		lhs := 0.0
+		for j, a := range row {
+			lhs += a * float64(x[j])
+		}
+		if lhs > p.B[r]+1e-7 {
+			return false
+		}
+	}
+	return true
+}
+
+// Exhaustive enumerates every lattice point in the box [0,Upper] and returns
+// the best feasible one. Complexity is Π(Upper_j+1); intended for n*M small
+// (test oracle and tiny frames).
+func Exhaustive(p Problem) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(p.C)
+	x := make([]int, n)
+	best := Result{Feasible: false, Objective: math.Inf(-1)}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			if p.feasible(x) {
+				obj := p.objective(x)
+				if !best.Feasible || obj > best.Objective {
+					best.Feasible = true
+					best.Objective = obj
+					best.X = append([]int(nil), x...)
+				}
+			}
+			return
+		}
+		for v := 0; v <= p.Upper[i]; v++ {
+			x[i] = v
+			rec(i + 1)
+		}
+		x[i] = 0
+	}
+	rec(0)
+	if !best.Feasible {
+		best.Objective = 0
+	}
+	return best, nil
+}
+
+// BranchAndBound solves the problem with LP-relaxation based branch and
+// bound. Variable upper bounds are encoded as extra LP rows. The search
+// branches on the most fractional variable and explores the "floor" branch
+// first (depth-first), using the LP bound to prune.
+func BranchAndBound(p Problem) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(p.C)
+	if n == 0 {
+		return Result{Feasible: true, X: []int{}, Objective: 0}, nil
+	}
+
+	// The all-zero vector is feasible iff b >= 0; use it as the incumbent
+	// when possible (m_j = 0 means "reject all bursts", always admissible in
+	// the paper's formulation).
+	best := Result{Feasible: false, Objective: math.Inf(-1), Nodes: 0}
+	zero := make([]int, n)
+	if p.feasible(zero) {
+		best = Result{Feasible: true, X: zero, Objective: p.objective(zero)}
+	}
+
+	type node struct {
+		lower, upper []int
+	}
+	initLower := make([]int, n)
+	initUpper := append([]int(nil), p.Upper...)
+	stack := []node{{lower: initLower, upper: initUpper}}
+	nodes := 0
+
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+		if nodes > 200000 {
+			break // safety valve; incumbent is returned
+		}
+
+		relax := buildRelaxation(p, nd.lower, nd.upper)
+		res, err := lp.Solve(relax)
+		if err != nil {
+			return Result{}, err
+		}
+		if res.Status == lp.Infeasible {
+			continue
+		}
+		if res.Status == lp.Unbounded {
+			// Bounded box => cannot happen, but guard anyway.
+			continue
+		}
+		// Shift variables back: LP variables are y_j = x_j - lower_j.
+		xFrac := make([]float64, n)
+		obj := 0.0
+		for j := 0; j < n; j++ {
+			xFrac[j] = res.X[j] + float64(nd.lower[j])
+			obj += p.C[j] * xFrac[j]
+		}
+		if best.Feasible && obj <= best.Objective+1e-9 {
+			continue // prune by bound
+		}
+		// Find most fractional variable.
+		branch := -1
+		bestFrac := 1e-6
+		for j := 0; j < n; j++ {
+			f := math.Abs(xFrac[j] - math.Round(xFrac[j]))
+			if f > bestFrac {
+				bestFrac = f
+				branch = j
+			}
+		}
+		if branch < 0 {
+			// Integral LP optimum.
+			xi := make([]int, n)
+			for j := 0; j < n; j++ {
+				xi[j] = int(math.Round(xFrac[j]))
+			}
+			if p.feasible(xi) {
+				o := p.objective(xi)
+				if !best.Feasible || o > best.Objective {
+					best = Result{Feasible: true, X: xi, Objective: o}
+				}
+			}
+			continue
+		}
+		floorV := int(math.Floor(xFrac[branch]))
+		// Up branch: x_branch >= floor+1.
+		if floorV+1 <= nd.upper[branch] {
+			lo := append([]int(nil), nd.lower...)
+			up := append([]int(nil), nd.upper...)
+			lo[branch] = floorV + 1
+			stack = append(stack, node{lower: lo, upper: up})
+		}
+		// Down branch: x_branch <= floor (pushed last => explored first).
+		if floorV >= nd.lower[branch] {
+			lo := append([]int(nil), nd.lower...)
+			up := append([]int(nil), nd.upper...)
+			up[branch] = floorV
+			stack = append(stack, node{lower: lo, upper: up})
+		}
+	}
+	best.Nodes = nodes
+	if !best.Feasible {
+		best.Objective = 0
+	}
+	return best, nil
+}
+
+// buildRelaxation constructs the LP relaxation over shifted variables
+// y_j = x_j - lower_j with 0 <= y_j <= upper_j - lower_j.
+func buildRelaxation(p Problem, lower, upper []int) lp.Problem {
+	n := len(p.C)
+	m := len(p.A)
+	rows := make([][]float64, 0, m+n)
+	rhs := make([]float64, 0, m+n)
+	for i := 0; i < m; i++ {
+		row := append([]float64(nil), p.A[i]...)
+		b := p.B[i]
+		for j := 0; j < n; j++ {
+			b -= p.A[i][j] * float64(lower[j])
+		}
+		rows = append(rows, row)
+		rhs = append(rhs, b)
+	}
+	for j := 0; j < n; j++ {
+		row := make([]float64, n)
+		row[j] = 1
+		rows = append(rows, row)
+		rhs = append(rhs, float64(upper[j]-lower[j]))
+	}
+	return lp.Problem{C: append([]float64(nil), p.C...), A: rows, B: rhs}
+}

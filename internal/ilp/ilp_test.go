@@ -1,0 +1,229 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnapsackExhaustive(t *testing.T) {
+	// max 3x + 4y, 2x + 3y <= 6, x,y in {0..3}. Optimum: x=3,y=0 -> 9? Check:
+	// x=3 => 2*3=6 <= 6, obj 9. x=0,y=2 => obj 8. x=1,y=1 -> 5<=6, obj 7.
+	p := Problem{
+		C:     []float64{3, 4},
+		A:     [][]float64{{2, 3}},
+		B:     []float64{6},
+		Upper: []int{3, 3},
+	}
+	res, err := Exhaustive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Objective != 9 {
+		t.Errorf("Exhaustive = %+v, want objective 9", res)
+	}
+	if res.X[0] != 3 || res.X[1] != 0 {
+		t.Errorf("X = %v", res.X)
+	}
+}
+
+func TestKnapsackBranchAndBound(t *testing.T) {
+	p := Problem{
+		C:     []float64{3, 4},
+		A:     [][]float64{{2, 3}},
+		B:     []float64{6},
+		Upper: []int{3, 3},
+	}
+	res, err := BranchAndBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || math.Abs(res.Objective-9) > 1e-9 {
+		t.Errorf("BranchAndBound = %+v, want objective 9", res)
+	}
+}
+
+func TestInfeasibleTightConstraint(t *testing.T) {
+	// A row with negative rhs makes even the zero vector infeasible.
+	p := Problem{
+		C:     []float64{1},
+		A:     [][]float64{{1}, {-1}},
+		B:     []float64{5, -1}, // x >= 1 and x <= 5 is feasible; zero is not
+		Upper: []int{0},         // but upper bound forces x = 0 -> infeasible
+	}
+	res, err := BranchAndBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Errorf("expected infeasible, got %+v", res)
+	}
+	resE, err := Exhaustive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resE.Feasible {
+		t.Errorf("exhaustive expected infeasible, got %+v", resE)
+	}
+}
+
+func TestZeroVectorIncumbent(t *testing.T) {
+	// No profitable variable: optimum is all zeros with objective 0.
+	p := Problem{
+		C:     []float64{-1, -2},
+		A:     [][]float64{{1, 1}},
+		B:     []float64{10},
+		Upper: []int{5, 5},
+	}
+	res, err := BranchAndBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Objective != 0 {
+		t.Errorf("want zero solution, got %+v", res)
+	}
+	for _, x := range res.X {
+		if x != 0 {
+			t.Errorf("want all zeros, got %v", res.X)
+		}
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	res, err := BranchAndBound(Problem{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Objective != 0 {
+		t.Errorf("empty problem: %+v", res)
+	}
+}
+
+func TestBadShapes(t *testing.T) {
+	cases := []Problem{
+		{C: []float64{1}, Upper: []int{1, 2}},
+		{C: []float64{1}, Upper: []int{1}, A: [][]float64{{1, 2}}, B: []float64{1}},
+		{C: []float64{1}, Upper: []int{1}, A: [][]float64{{1}}, B: []float64{1, 2}},
+		{C: []float64{1}, Upper: []int{-1}},
+	}
+	for i, p := range cases {
+		if _, err := BranchAndBound(p); err != ErrBadShape {
+			t.Errorf("case %d: expected ErrBadShape, got %v", i, err)
+		}
+		if _, err := Exhaustive(p); err != ErrBadShape {
+			t.Errorf("case %d exhaustive: expected ErrBadShape, got %v", i, err)
+		}
+	}
+}
+
+func TestMultiConstraint(t *testing.T) {
+	// Two resources (forward-link power in two cells), three requests.
+	p := Problem{
+		C:     []float64{5, 4, 3},
+		A:     [][]float64{{2, 3, 1}, {4, 1, 2}},
+		B:     []float64{10, 11},
+		Upper: []int{4, 4, 4},
+	}
+	exh, err := Exhaustive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := BranchAndBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exh.Objective-bb.Objective) > 1e-6 {
+		t.Errorf("BB objective %v != exhaustive %v", bb.Objective, exh.Objective)
+	}
+}
+
+// randomProblem builds a small random admission-like instance (non-negative
+// constraint matrix, non-negative rhs) from a seed.
+func randomProblem(seed uint64, n, m, maxUB int) Problem {
+	s := seed
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11) / (1 << 53)
+	}
+	p := Problem{
+		C:     make([]float64, n),
+		A:     make([][]float64, m),
+		B:     make([]float64, m),
+		Upper: make([]int, n),
+	}
+	for j := 0; j < n; j++ {
+		p.C[j] = next()*5 - 0.5 // mostly positive utilities
+		p.Upper[j] = 1 + int(next()*float64(maxUB))
+	}
+	for i := 0; i < m; i++ {
+		p.A[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			p.A[i][j] = next() * 2
+		}
+		p.B[i] = next() * 8
+	}
+	return p
+}
+
+func TestBranchAndBoundMatchesExhaustiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randomProblem(seed, 3, 3, 3)
+		exh, err1 := Exhaustive(p)
+		bb, err2 := BranchAndBound(p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if exh.Feasible != bb.Feasible {
+			return false
+		}
+		if !exh.Feasible {
+			return true
+		}
+		return math.Abs(exh.Objective-bb.Objective) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchAndBoundSolutionFeasibleProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randomProblem(seed^0xabcdef, 5, 4, 4)
+		bb, err := BranchAndBound(p)
+		if err != nil {
+			return false
+		}
+		if !bb.Feasible {
+			return true
+		}
+		return p.feasible(bb.X)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodesCounted(t *testing.T) {
+	p := randomProblem(12345, 6, 4, 5)
+	bb, err := BranchAndBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.Nodes <= 0 {
+		t.Errorf("expected node count > 0, got %d", bb.Nodes)
+	}
+}
+
+func TestLargerInstanceRuns(t *testing.T) {
+	p := randomProblem(999, 10, 6, 6)
+	bb, err := BranchAndBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bb.Feasible {
+		t.Error("expected feasible (zero vector is always checked)")
+	}
+	if !p.feasible(bb.X) {
+		t.Error("returned solution violates constraints")
+	}
+}

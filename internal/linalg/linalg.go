@@ -1,0 +1,291 @@
+// Package linalg provides small dense vector and matrix primitives used by
+// the LP/ILP solvers and the admission-control measurement sub-layer. It is
+// intentionally minimal (stdlib only) and optimised for the modest problem
+// sizes that arise in per-frame burst admission (tens of rows/columns).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// ErrDimension is returned when operand shapes are incompatible.
+var ErrDimension = errors.New("linalg: dimension mismatch")
+
+// Vector is a dense column vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns the inner product of v and w. It panics on length mismatch.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(ErrDimension)
+	}
+	s := 0.0
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Add returns v + w as a new vector.
+func (v Vector) Add(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(ErrDimension)
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w as a new vector.
+func (v Vector) Sub(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(ErrDimension)
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns a*v as a new vector.
+func (v Vector) Scale(a float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = a * v[i]
+	}
+	return out
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vector) Norm2() float64 {
+	return math.Sqrt(v.Dot(v))
+}
+
+// NormInf returns the maximum absolute entry of v.
+func (v Vector) NormInf() float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of the entries of v.
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(ErrDimension)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFromRows builds a matrix from row slices; all rows must have the
+// same length.
+func NewMatrixFromRows(rows [][]float64) *Matrix {
+	r := len(rows)
+	if r == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(ErrDimension)
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.Data[i*m.Cols+j] = v
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) Vector {
+	out := make(Vector, m.Cols)
+	copy(out, m.Data[i*m.Cols:(i+1)*m.Cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) Vector {
+	out := make(Vector, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec returns m * v.
+func (m *Matrix) MulVec(v Vector) Vector {
+	if m.Cols != len(v) {
+		panic(ErrDimension)
+	}
+	out := make(Vector, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Mul returns the matrix product m * other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(ErrDimension)
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < other.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * other.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Solve solves the square linear system m*x = b using Gaussian elimination
+// with partial pivoting. It returns ErrSingular if the matrix is (numerically)
+// singular and ErrDimension on shape mismatch.
+func (m *Matrix) Solve(b Vector) (Vector, error) {
+	n := m.Rows
+	if m.Cols != n || len(b) != n {
+		return nil, ErrDimension
+	}
+	// Augmented working copies.
+	a := m.Clone()
+	x := b.Clone()
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				tmp := a.At(col, j)
+				a.Set(col, j, a.At(pivot, j))
+				a.Set(pivot, j, tmp)
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		// Eliminate below.
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	out := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * out[j]
+		}
+		out[i] = s / a.At(i, i)
+	}
+	return out, nil
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&sb, "%10.4f ", m.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,229 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVectorDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot with mismatched lengths should panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorAddSubScale(t *testing.T) {
+	v := Vector{1, 2}
+	w := Vector{3, 5}
+	if got := v.Add(w); got[0] != 4 || got[1] != 7 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := w.Sub(v); got[0] != 2 || got[1] != 3 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(3); got[0] != 3 || got[1] != 6 {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestVectorNorms(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Norm2(); got != 5 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := (Vector{-7, 2}).NormInf(); got != 7 {
+		t.Errorf("NormInf = %v", got)
+	}
+	if got := (Vector{1, 2, 3}).Sum(); got != 6 {
+		t.Errorf("Sum = %v", got)
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Error("Set/At broken")
+	}
+	r := m.Row(1)
+	if r[2] != 5 || len(r) != 3 {
+		t.Error("Row broken")
+	}
+	c := m.Col(2)
+	if c[1] != 5 || len(c) != 2 {
+		t.Error("Col broken")
+	}
+}
+
+func TestMatrixFromRowsAndMulVec(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	v := Vector{1, 1}
+	got := m.MulVec(v)
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}})
+	i3 := Identity(3)
+	c := a.Mul(i3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if c.At(i, j) != a.At(i, j) {
+				t.Fatal("A*I != A")
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("Transpose shape = %dx%d", at.Rows, at.Cols)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Error("Transpose values wrong")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{2, 1}, {1, 3}})
+	b := Vector{5, 10}
+	x, err := a.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solution: x = 1, y = 3.
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("Solve = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := a.Solve(Vector{1, 2}); err != ErrSingular {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveDimensionMismatch(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := a.Solve(Vector{1, 2, 3}); err != ErrDimension {
+		t.Errorf("expected ErrDimension, got %v", err)
+	}
+	rect := NewMatrix(2, 3)
+	if _, err := rect.Solve(Vector{1, 2}); err != ErrDimension {
+		t.Errorf("expected ErrDimension for rectangular, got %v", err)
+	}
+}
+
+func TestSolveResidualProperty(t *testing.T) {
+	// For random diagonally dominant systems, the residual should be tiny.
+	f := func(seed int64) bool {
+		n := 5
+		a := NewMatrix(n, n)
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>11) / (1 << 53)
+		}
+		b := NewVector(n)
+		for i := 0; i < n; i++ {
+			rowsum := 0.0
+			for j := 0; j < n; j++ {
+				v := next() - 0.5
+				a.Set(i, j, v)
+				rowsum += math.Abs(v)
+			}
+			a.Set(i, i, rowsum+1) // diagonally dominant => nonsingular
+			b[i] = next() * 10
+		}
+		x, err := a.Solve(b)
+		if err != nil {
+			return false
+		}
+		res := a.MulVec(x).Sub(b)
+		return res.NormInf() < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}})
+	if a.String() == "" {
+		t.Error("String should not be empty")
+	}
+}
+
+func TestNewMatrixFromRowsEmpty(t *testing.T) {
+	m := NewMatrixFromRows(nil)
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Error("empty matrix shape wrong")
+	}
+}
+
+func TestNewMatrixFromRowsRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged rows should panic")
+		}
+	}()
+	NewMatrixFromRows([][]float64{{1, 2}, {1}})
+}
+
+func TestMulVecDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MulVec dimension mismatch should panic")
+		}
+	}()
+	NewMatrix(2, 3).MulVec(Vector{1, 2})
+}

@@ -1,0 +1,210 @@
+package measurement
+
+import "sort"
+
+// SCRMMaxPilots is the maximum number of forward pilot strength measurements
+// a supplemental channel request message can carry (cdma2000 limit quoted in
+// the paper's footnote 6).
+const SCRMMaxPilots = 8
+
+// SCRM is the supplemental channel request message a mobile sends with a
+// reverse-link burst request: up to eight forward-link pilot strength
+// measurements t_{j,k}^{FL} = (Ec/Io)_{j,k}, keyed by cell.
+type SCRM struct {
+	Pilots map[int]float64
+}
+
+// NewSCRM builds an SCRM from a full pilot report, keeping only the
+// SCRMMaxPilots strongest entries.
+func NewSCRM(pilots map[int]float64) SCRM {
+	if len(pilots) <= SCRMMaxPilots {
+		cp := make(map[int]float64, len(pilots))
+		for k, v := range pilots {
+			cp[k] = v
+		}
+		return SCRM{Pilots: cp}
+	}
+	type kv struct {
+		cell int
+		v    float64
+	}
+	all := make([]kv, 0, len(pilots))
+	for k, v := range pilots {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].cell < all[j].cell
+	})
+	out := make(map[int]float64, SCRMMaxPilots)
+	for i := 0; i < SCRMMaxPilots; i++ {
+		out[all[i].cell] = all[i].v
+	}
+	return SCRM{Pilots: out}
+}
+
+// ReverseRequest carries the measurements attached to one reverse-link burst
+// request (paper equations 9-15).
+type ReverseRequest struct {
+	UserID int
+	// HostCell is the cell that received the SCRM and will schedule the
+	// burst; its reverse pilot measurement must be present.
+	HostCell int
+	// ReversePilot maps soft-handoff cell -> t_{j,k}^{RL}, the reverse-link
+	// pilot strength (Ec/Io, linear) measured at that base station.
+	ReversePilot map[int]float64
+	// SCRM carries the mobile's forward pilot report used to estimate the
+	// relative path loss towards non-soft-handoff neighbour cells.
+	SCRM SCRM
+	// Zeta is ζ_j, the FCH-to-pilot transmit power ratio at the mobile.
+	Zeta float64
+	// Alpha is α_j^{RL}, the reduced-active-set power adjustment factor.
+	Alpha float64
+}
+
+// ReverseState is the per-cell reverse-link state when the requests are
+// evaluated.
+type ReverseState struct {
+	// TotalReceived[k] is L_k, the total received reverse-link power (own
+	// cell + other cell + noise) at base station k.
+	TotalReceived []float64
+	// MaxReceived is L_max, the rise-over-thermal style cap on the total
+	// received power of a cell.
+	MaxReceived float64
+	// GammaS is the SCH/FCH relative symbol energy requirement γ_s.
+	GammaS float64
+	// ShadowMargin is κ >= 1, the extra margin applied to projected
+	// neighbour-cell interference to absorb shadowing estimation error
+	// (equation 15).
+	ShadowMargin float64
+	// NeighbourCells optionally lists, per host cell, the neighbour cells to
+	// protect (those for which projected interference rows are generated).
+	// When nil, every cell with a forward pilot in the SCRM is protected.
+	NeighbourCells map[int][]int
+}
+
+// fchReceivedPower returns X_{j,k}(FCH) = ζ_j * t_{j,k}^{RL} * L_k
+// (equation 10): the reverse FCH power received at cell k from this mobile,
+// reconstructed from the reverse pilot measurement.
+func fchReceivedPower(req ReverseRequest, state ReverseState, k int) (float64, bool) {
+	t, ok := req.ReversePilot[k]
+	if !ok {
+		return 0, false
+	}
+	return req.Zeta * t * state.TotalReceived[k], true
+}
+
+// ReverseRegion builds the reverse-link admissible region of equations
+// (16)-(18): for every cell k (soft hand-off or protected neighbour),
+//
+//	Σ_j Y_{j,k}(m_j)  <=  L_max − L_k,
+//
+// where Y_{j,k} = m_j γ_s α_j X_{j,k}(FCH) for soft hand-off cells
+// (equation 12) and the projected value scaled by the relative path loss
+// estimated from the SCRM forward pilots times the shadow margin for
+// neighbour cells not in soft hand-off (equation 15).
+func ReverseRegion(state ReverseState, requests []ReverseRequest) (Region, error) {
+	if state.MaxReceived <= 0 || state.GammaS <= 0 {
+		return Region{}, ErrBadInput
+	}
+	margin := state.ShadowMargin
+	if margin < 1 {
+		margin = 1
+	}
+	n := len(requests)
+
+	// Determine the set of cells that need a constraint row and the per
+	// (request, cell) interference coefficient.
+	coeff := map[int][]float64{} // cell -> row
+	ensureRow := func(k int) []float64 {
+		if row, ok := coeff[k]; ok {
+			return row
+		}
+		row := make([]float64, n)
+		coeff[k] = row
+		return row
+	}
+
+	for j, req := range requests {
+		if req.Zeta <= 0 || req.Alpha <= 0 {
+			return Region{}, ErrBadInput
+		}
+		if req.HostCell < 0 || req.HostCell >= len(state.TotalReceived) {
+			return Region{}, ErrBadInput
+		}
+		hostFCH, ok := fchReceivedPower(req, state, req.HostCell)
+		if !ok {
+			return Region{}, ErrBadInput // host cell must have the reverse pilot
+		}
+		hostForwardPilot, hostPilotOK := req.SCRM.Pilots[req.HostCell]
+
+		// Soft hand-off cells: direct measurement (equation 12).
+		for k := range req.ReversePilot {
+			if k < 0 || k >= len(state.TotalReceived) {
+				return Region{}, ErrBadInput
+			}
+			x, _ := fchReceivedPower(req, state, k)
+			row := ensureRow(k)
+			row[j] += state.GammaS * req.Alpha * x
+		}
+
+		// Neighbour cells not in soft hand-off: project the host-cell
+		// interference through the relative path loss (equations 13-15).
+		if !hostPilotOK || hostForwardPilot <= 0 {
+			continue // cannot project without the host forward pilot
+		}
+		neighbours := state.NeighbourCells[req.HostCell]
+		if neighbours == nil {
+			for k := range req.SCRM.Pilots {
+				neighbours = append(neighbours, k)
+			}
+			sort.Ints(neighbours)
+		}
+		for _, k := range neighbours {
+			if k == req.HostCell {
+				continue
+			}
+			if _, isSHO := req.ReversePilot[k]; isSHO {
+				continue // already handled with the direct measurement
+			}
+			if k < 0 || k >= len(state.TotalReceived) {
+				return Region{}, ErrBadInput
+			}
+			fp, ok := req.SCRM.Pilots[k]
+			if !ok || fp <= 0 {
+				continue // no pilot report for this neighbour
+			}
+			relPathLoss := fp / hostForwardPilot // δP_{k,k'} of equation (14)
+			row := ensureRow(k)
+			row[j] += state.GammaS * req.Alpha * hostFCH * relPathLoss * margin
+		}
+	}
+
+	cells := make([]int, 0, len(coeff))
+	for k := range coeff {
+		cells = append(cells, k)
+	}
+	sort.Ints(cells)
+	region := Region{Cells: cells}
+	for _, k := range cells {
+		region.Coeff = append(region.Coeff, coeff[k])
+		region.Bound = append(region.Bound, state.MaxReceived-state.TotalReceived[k])
+	}
+	return region, nil
+}
+
+// Merge combines two regions over the same request vector into one (the
+// scheduling sub-layer optimises forward and reverse link assignments
+// independently, but tests and tools sometimes want the joint region).
+func Merge(a, b Region) Region {
+	out := Region{}
+	out.Coeff = append(out.Coeff, a.Coeff...)
+	out.Coeff = append(out.Coeff, b.Coeff...)
+	out.Bound = append(out.Bound, a.Bound...)
+	out.Bound = append(out.Bound, b.Bound...)
+	out.Cells = append(out.Cells, a.Cells...)
+	out.Cells = append(out.Cells, b.Cells...)
+	return out
+}

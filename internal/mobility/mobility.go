@@ -1,0 +1,257 @@
+// Package mobility implements the user mobility models driving the dynamic
+// simulation: the random waypoint model (users pick a destination and speed,
+// travel there, pause, repeat) and a bounded random walk. Positions are kept
+// inside the service area; with wrap-around layouts the coordinates wrap on
+// the torus, otherwise users reflect off the boundary.
+package mobility
+
+import (
+	"math"
+
+	"jabasd/internal/cellular"
+	"jabasd/internal/rng"
+)
+
+// Model is a mobility process for one user.
+type Model interface {
+	// Position returns the current position.
+	Position() cellular.Point
+	// Advance moves the user by dt seconds and returns the distance
+	// travelled during the step (used to advance the shadowing process).
+	Advance(dt float64) float64
+	// Speed returns the current speed in m/s.
+	Speed() float64
+}
+
+// Region describes the rectangular service area [0,W) x [0,H).
+type Region struct {
+	Width, Height float64
+	Wrap          bool
+}
+
+// RandomWaypoint implements the random waypoint mobility model.
+type RandomWaypoint struct {
+	region     Region
+	src        *rng.Source
+	pos        cellular.Point
+	dest       cellular.Point
+	speed      float64
+	pause      float64 // remaining pause time
+	minSpeed   float64
+	maxSpeed   float64
+	maxPause   float64
+	travelling bool
+}
+
+// NewRandomWaypoint creates a random waypoint user with speeds drawn
+// uniformly from [minSpeed, maxSpeed] m/s and pauses up to maxPause seconds.
+func NewRandomWaypoint(src *rng.Source, region Region, minSpeed, maxSpeed, maxPause float64) *RandomWaypoint {
+	if minSpeed < 0 {
+		minSpeed = 0
+	}
+	if maxSpeed < minSpeed {
+		maxSpeed = minSpeed
+	}
+	m := &RandomWaypoint{
+		region:   region,
+		src:      src,
+		minSpeed: minSpeed,
+		maxSpeed: maxSpeed,
+		maxPause: maxPause,
+	}
+	m.pos = cellular.Point{X: src.Uniform(0, region.Width), Y: src.Uniform(0, region.Height)}
+	m.pickDestination()
+	return m
+}
+
+func (m *RandomWaypoint) pickDestination() {
+	m.dest = cellular.Point{X: m.src.Uniform(0, m.region.Width), Y: m.src.Uniform(0, m.region.Height)}
+	if m.maxSpeed <= 0 {
+		m.speed = 0
+	} else {
+		m.speed = m.src.Uniform(m.minSpeed, m.maxSpeed)
+		if m.speed <= 0 {
+			m.speed = m.maxSpeed
+		}
+	}
+	m.travelling = true
+}
+
+// Position returns the current position.
+func (m *RandomWaypoint) Position() cellular.Point { return m.pos }
+
+// Speed returns the current travel speed (0 while paused).
+func (m *RandomWaypoint) Speed() float64 {
+	if !m.travelling {
+		return 0
+	}
+	return m.speed
+}
+
+// Advance moves the user by dt seconds and returns the distance travelled.
+func (m *RandomWaypoint) Advance(dt float64) float64 {
+	travelled := 0.0
+	for dt > 0 {
+		if !m.travelling {
+			if m.pause >= dt {
+				m.pause -= dt
+				return travelled
+			}
+			dt -= m.pause
+			m.pause = 0
+			m.pickDestination()
+			continue
+		}
+		if m.speed <= 0 {
+			// Degenerate zero-speed user never reaches its destination.
+			return travelled
+		}
+		toGo := m.pos.Dist(m.dest)
+		stepTime := toGo / m.speed
+		if stepTime > dt {
+			frac := m.speed * dt / toGo
+			m.pos = m.pos.Add(m.dest.Sub(m.pos).Scale(frac))
+			travelled += m.speed * dt
+			return travelled
+		}
+		// Reach the destination and start a pause.
+		m.pos = m.dest
+		travelled += toGo
+		dt -= stepTime
+		m.travelling = false
+		m.pause = m.src.Uniform(0, m.maxPause)
+	}
+	return travelled
+}
+
+// RandomWalk implements a bounded random walk: the user keeps a heading for
+// an exponentially distributed epoch, then turns to a new uniform heading.
+type RandomWalk struct {
+	region        Region
+	src           *rng.Source
+	pos           cellular.Point
+	heading       float64
+	speed         float64
+	epochMean     float64
+	epochLeft     float64
+	minSpeed      float64
+	maxSpeed      float64
+	reflectBounce bool
+}
+
+// NewRandomWalk creates a random walk user. epochMean is the mean duration
+// (seconds) between direction changes.
+func NewRandomWalk(src *rng.Source, region Region, minSpeed, maxSpeed, epochMean float64) *RandomWalk {
+	if epochMean <= 0 {
+		epochMean = 10
+	}
+	if minSpeed < 0 {
+		minSpeed = 0
+	}
+	if maxSpeed < minSpeed {
+		maxSpeed = minSpeed
+	}
+	m := &RandomWalk{
+		region:        region,
+		src:           src,
+		epochMean:     epochMean,
+		minSpeed:      minSpeed,
+		maxSpeed:      maxSpeed,
+		reflectBounce: !region.Wrap,
+	}
+	m.pos = cellular.Point{X: src.Uniform(0, region.Width), Y: src.Uniform(0, region.Height)}
+	m.newEpoch()
+	return m
+}
+
+func (m *RandomWalk) newEpoch() {
+	m.heading = m.src.Uniform(0, 2*math.Pi)
+	if m.maxSpeed <= 0 {
+		m.speed = 0
+	} else {
+		m.speed = m.src.Uniform(m.minSpeed, m.maxSpeed)
+	}
+	m.epochLeft = m.src.Exponential(m.epochMean)
+}
+
+// Position returns the current position.
+func (m *RandomWalk) Position() cellular.Point { return m.pos }
+
+// Speed returns the current speed.
+func (m *RandomWalk) Speed() float64 { return m.speed }
+
+// Advance moves the user by dt seconds and returns the distance travelled.
+func (m *RandomWalk) Advance(dt float64) float64 {
+	travelled := 0.0
+	for dt > 0 {
+		step := dt
+		if m.epochLeft < step {
+			step = m.epochLeft
+		}
+		dx := m.speed * step * math.Cos(m.heading)
+		dy := m.speed * step * math.Sin(m.heading)
+		m.pos.X += dx
+		m.pos.Y += dy
+		travelled += m.speed * step
+		m.wrapOrReflect()
+		m.epochLeft -= step
+		dt -= step
+		if m.epochLeft <= 0 {
+			m.newEpoch()
+		}
+	}
+	return travelled
+}
+
+func (m *RandomWalk) wrapOrReflect() {
+	w, h := m.region.Width, m.region.Height
+	if m.region.Wrap {
+		m.pos.X = math.Mod(math.Mod(m.pos.X, w)+w, w)
+		m.pos.Y = math.Mod(math.Mod(m.pos.Y, h)+h, h)
+		return
+	}
+	if m.pos.X < 0 {
+		m.pos.X = -m.pos.X
+		m.heading = math.Pi - m.heading
+	}
+	if m.pos.X > w {
+		m.pos.X = 2*w - m.pos.X
+		m.heading = math.Pi - m.heading
+	}
+	if m.pos.Y < 0 {
+		m.pos.Y = -m.pos.Y
+		m.heading = -m.heading
+	}
+	if m.pos.Y > h {
+		m.pos.Y = 2*h - m.pos.Y
+		m.heading = -m.heading
+	}
+	// Guard against pathological overshoot (very large dt): clamp.
+	if m.pos.X < 0 || m.pos.X > w {
+		m.pos.X = math.Min(math.Max(m.pos.X, 0), w)
+	}
+	if m.pos.Y < 0 || m.pos.Y > h {
+		m.pos.Y = math.Min(math.Max(m.pos.Y, 0), h)
+	}
+}
+
+// Static is a degenerate mobility model for stationary users (useful in unit
+// tests and for modelling fixed wireless terminals).
+type Static struct {
+	P cellular.Point
+}
+
+// Position returns the fixed position.
+func (s *Static) Position() cellular.Point { return s.P }
+
+// Advance does nothing and returns zero distance.
+func (s *Static) Advance(dt float64) float64 { return 0 }
+
+// Speed returns zero.
+func (s *Static) Speed() float64 { return 0 }
+
+var (
+	_ Model = (*RandomWaypoint)(nil)
+	_ Model = (*RandomWalk)(nil)
+	_ Model = (*Static)(nil)
+)

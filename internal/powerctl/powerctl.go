@@ -1,0 +1,131 @@
+// Package powerctl implements the CDMA power control loops used by the
+// dynamic simulator: the fast closed-loop SIR-based control (up/down commands
+// at the power-control group rate, 1.5 dB default step) that keeps the
+// fundamental channel at its Eb/Io target, and the open-loop initial power
+// estimate used when a link is first established.
+//
+// Power control matters to burst admission because the forward-link loading
+// P_{j,k} and the reverse-link received power X_{j,k}(FCH) that enter the
+// admissible region (paper eq. 6-12) are exactly the powers these loops
+// settle at.
+package powerctl
+
+import (
+	"math"
+
+	"jabasd/internal/mathx"
+)
+
+// Loop is a closed-loop fast power control state machine for one link.
+// The zero value is not usable; construct with NewLoop.
+type Loop struct {
+	targetSIRdB float64
+	stepDB      float64
+	minPowerDBm float64
+	maxPowerDBm float64
+	powerDBm    float64
+	// error statistics
+	updates  int64
+	upCmds   int64
+	downCmds int64
+}
+
+// Config parameterises a power control loop.
+type Config struct {
+	TargetSIRdB  float64 // Eb/Io (or Es/Io) target for the controlled channel
+	StepDB       float64 // per-command step, cdma2000 uses 1.0 or 0.5 dB; default 1.0
+	MinPowerDBm  float64 // transmitter floor
+	MaxPowerDBm  float64 // transmitter ceiling
+	InitialPower float64 // initial transmit power in dBm
+}
+
+// DefaultConfig returns a typical reverse-link FCH configuration: 7 dB Eb/Io
+// target, 1 dB steps, -50..+23 dBm mobile transmit range.
+func DefaultConfig() Config {
+	return Config{
+		TargetSIRdB:  7,
+		StepDB:       1,
+		MinPowerDBm:  -50,
+		MaxPowerDBm:  23,
+		InitialPower: 0,
+	}
+}
+
+// NewLoop creates a power control loop.
+func NewLoop(cfg Config) *Loop {
+	if cfg.StepDB <= 0 {
+		cfg.StepDB = 1
+	}
+	if cfg.MaxPowerDBm < cfg.MinPowerDBm {
+		cfg.MaxPowerDBm = cfg.MinPowerDBm
+	}
+	return &Loop{
+		targetSIRdB: cfg.TargetSIRdB,
+		stepDB:      cfg.StepDB,
+		minPowerDBm: cfg.MinPowerDBm,
+		maxPowerDBm: cfg.MaxPowerDBm,
+		powerDBm:    mathx.Clamp(cfg.InitialPower, cfg.MinPowerDBm, cfg.MaxPowerDBm),
+	}
+}
+
+// PowerDBm returns the current transmit power in dBm.
+func (l *Loop) PowerDBm() float64 { return l.powerDBm }
+
+// PowerMW returns the current transmit power in milliwatts.
+func (l *Loop) PowerMW() float64 { return math.Pow(10, l.powerDBm/10) }
+
+// TargetSIRdB returns the loop's SIR target.
+func (l *Loop) TargetSIRdB() float64 { return l.targetSIRdB }
+
+// SetTargetSIRdB changes the SIR target (outer-loop power control hook).
+func (l *Loop) SetTargetSIRdB(v float64) { l.targetSIRdB = v }
+
+// Update runs one power control group: given the measured SIR in dB at the
+// receiver, the receiver commands up (measured < target) or down and the
+// transmitter applies one step, saturating at the power limits. It returns
+// the new transmit power in dBm.
+func (l *Loop) Update(measuredSIRdB float64) float64 {
+	l.updates++
+	if measuredSIRdB < l.targetSIRdB {
+		l.powerDBm += l.stepDB
+		l.upCmds++
+	} else {
+		l.powerDBm -= l.stepDB
+		l.downCmds++
+	}
+	l.powerDBm = mathx.Clamp(l.powerDBm, l.minPowerDBm, l.maxPowerDBm)
+	return l.powerDBm
+}
+
+// Saturated reports whether the loop is pinned at either power limit.
+func (l *Loop) Saturated() bool {
+	return l.powerDBm == l.minPowerDBm || l.powerDBm == l.maxPowerDBm
+}
+
+// Stats returns the number of updates, up commands and down commands.
+func (l *Loop) Stats() (updates, up, down int64) {
+	return l.updates, l.upCmds, l.downCmds
+}
+
+// OpenLoopPower returns the open-loop initial transmit power estimate (dBm)
+// for a link with the given path gain (dB, negative) so that the receiver
+// sees the target received power (dBm). The result is clamped to the
+// transmitter range.
+func OpenLoopPower(targetRxDBm, pathGainDB, minDBm, maxDBm float64) float64 {
+	return mathx.Clamp(targetRxDBm-pathGainDB, minDBm, maxDBm)
+}
+
+// RequiredPowerForSIR computes the transmit power (linear, same unit as
+// interference) needed to reach the SIR target given the link power gain and
+// the total interference-plus-noise at the receiver, with a processing gain
+// applied (SIR = gain * P * pg / interference). It returns +Inf when the gain
+// is non-positive.
+func RequiredPowerForSIR(targetSIR, linkGain, interference, processingGain float64) float64 {
+	if linkGain <= 0 || processingGain <= 0 {
+		return math.Inf(1)
+	}
+	if interference < 0 {
+		interference = 0
+	}
+	return targetSIR * interference / (linkGain * processingGain)
+}

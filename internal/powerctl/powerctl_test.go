@@ -1,0 +1,138 @@
+package powerctl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLoopConvergesToTarget(t *testing.T) {
+	// Simple static channel: received SIR = txPower(dB) + gain - interference.
+	cfg := DefaultConfig()
+	cfg.InitialPower = -20
+	l := NewLoop(cfg)
+	gainDB := -100.0
+	interferenceDBm := -110.0
+	var sir float64
+	for i := 0; i < 500; i++ {
+		sir = l.PowerDBm() + gainDB - interferenceDBm
+		l.Update(sir)
+	}
+	// Converged SIR should oscillate within one step of the target.
+	if math.Abs(sir-cfg.TargetSIRdB) > 2*cfg.StepDB {
+		t.Errorf("converged SIR = %v, want ~%v", sir, cfg.TargetSIRdB)
+	}
+	up, down := int64(0), int64(0)
+	var updates int64
+	updates, up, down = l.Stats()
+	if updates != 500 || up+down != 500 {
+		t.Errorf("stats inconsistent: %d %d %d", updates, up, down)
+	}
+}
+
+func TestLoopSaturatesAtMax(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialPower = 0
+	l := NewLoop(cfg)
+	for i := 0; i < 1000; i++ {
+		l.Update(-100) // hopeless SIR: always command up
+	}
+	if l.PowerDBm() != cfg.MaxPowerDBm {
+		t.Errorf("power = %v, want max %v", l.PowerDBm(), cfg.MaxPowerDBm)
+	}
+	if !l.Saturated() {
+		t.Error("loop should report saturation")
+	}
+}
+
+func TestLoopSaturatesAtMin(t *testing.T) {
+	cfg := DefaultConfig()
+	l := NewLoop(cfg)
+	for i := 0; i < 1000; i++ {
+		l.Update(100) // excellent SIR: always command down
+	}
+	if l.PowerDBm() != cfg.MinPowerDBm {
+		t.Errorf("power = %v, want min %v", l.PowerDBm(), cfg.MinPowerDBm)
+	}
+	if !l.Saturated() {
+		t.Error("loop should report saturation")
+	}
+}
+
+func TestLoopStepDirection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialPower = 0
+	l := NewLoop(cfg)
+	p0 := l.PowerDBm()
+	l.Update(cfg.TargetSIRdB - 5) // below target -> up
+	if l.PowerDBm() != p0+cfg.StepDB {
+		t.Errorf("expected up step")
+	}
+	l.Update(cfg.TargetSIRdB + 5) // above target -> down
+	if l.PowerDBm() != p0 {
+		t.Errorf("expected down step back to %v, got %v", p0, l.PowerDBm())
+	}
+}
+
+func TestNewLoopDefaults(t *testing.T) {
+	l := NewLoop(Config{TargetSIRdB: 5, StepDB: 0, MinPowerDBm: 10, MaxPowerDBm: -10, InitialPower: 50})
+	if l.stepDB != 1 {
+		t.Errorf("default step = %v", l.stepDB)
+	}
+	// Max below min gets clamped to min, and power clamps into range.
+	if l.maxPowerDBm != l.minPowerDBm {
+		t.Errorf("max should clamp to min")
+	}
+	if l.PowerDBm() != 10 {
+		t.Errorf("initial power should clamp to %v, got %v", 10.0, l.PowerDBm())
+	}
+}
+
+func TestPowerMWConsistent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialPower = 10
+	l := NewLoop(cfg)
+	if math.Abs(l.PowerMW()-10) > 1e-9 {
+		t.Errorf("10 dBm = %v mW, want 10", l.PowerMW())
+	}
+}
+
+func TestSetTarget(t *testing.T) {
+	l := NewLoop(DefaultConfig())
+	l.SetTargetSIRdB(12)
+	if l.TargetSIRdB() != 12 {
+		t.Error("SetTargetSIRdB not applied")
+	}
+}
+
+func TestOpenLoopPower(t *testing.T) {
+	// Want -100 dBm received over a 120 dB loss link: transmit at +20 dBm.
+	got := OpenLoopPower(-100, -120, -50, 23)
+	if got != 20 {
+		t.Errorf("OpenLoopPower = %v, want 20", got)
+	}
+	// Clamped at the ceiling.
+	if got := OpenLoopPower(-80, -120, -50, 23); got != 23 {
+		t.Errorf("OpenLoopPower = %v, want clamp at 23", got)
+	}
+	if got := OpenLoopPower(-150, -20, -50, 23); got != -50 {
+		t.Errorf("OpenLoopPower = %v, want clamp at -50", got)
+	}
+}
+
+func TestRequiredPowerForSIR(t *testing.T) {
+	// SIR = gain*P*pg / I  =>  P = SIR*I/(gain*pg).
+	p := RequiredPowerForSIR(5, 1e-10, 1e-12, 256)
+	want := 5 * 1e-12 / (1e-10 * 256)
+	if math.Abs(p-want)/want > 1e-12 {
+		t.Errorf("RequiredPowerForSIR = %v, want %v", p, want)
+	}
+	if !math.IsInf(RequiredPowerForSIR(5, 0, 1e-12, 256), 1) {
+		t.Error("zero gain should need infinite power")
+	}
+	if !math.IsInf(RequiredPowerForSIR(5, 1e-10, 1e-12, 0), 1) {
+		t.Error("zero processing gain should need infinite power")
+	}
+	if RequiredPowerForSIR(5, 1e-10, -1, 256) != 0 {
+		t.Error("negative interference should clamp to zero")
+	}
+}

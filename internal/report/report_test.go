@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableASCII(t *testing.T) {
+	tb := NewTable("Demo", "scheduler", "delay", "coverage")
+	tb.AddRow("JABA-SD", 0.123456, 0.97)
+	tb.AddRow("FCFS", 1.5, 0.80)
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	out := tb.String()
+	if !strings.Contains(out, "# Demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "JABA-SD") || !strings.Contains(out, "FCFS") {
+		t.Error("rows missing")
+	}
+	if !strings.Contains(out, "scheduler") || !strings.Contains(out, "coverage") {
+		t.Error("headers missing")
+	}
+	if !strings.Contains(out, "0.1235") {
+		t.Errorf("float not formatted to 4 significant digits: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow(1)
+	if strings.Contains(tb.String(), "#") {
+		t.Error("untitled table should not emit a title line")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "name", "value")
+	tb.AddRow("plain", 1)
+	tb.AddRow("with,comma", 2.5)
+	tb.AddRow(`with"quote`, 3)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 CSV lines, got %d", len(lines))
+	}
+	if lines[0] != "name,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Error("comma cell not quoted")
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Error("quote cell not escaped")
+	}
+}
+
+func TestFormatCellTypes(t *testing.T) {
+	if formatCell(float32(2.5)) != "2.5" {
+		t.Error("float32 formatting broken")
+	}
+	if formatCell(42) != "42" {
+		t.Error("int formatting broken")
+	}
+	if formatCell("s") != "s" {
+		t.Error("string formatting broken")
+	}
+}

@@ -1,0 +1,107 @@
+// Package scenario provides named simulation presets and JSON round-tripping
+// of sim.Config, so the command-line tools can load and store complete
+// scenario descriptions.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"jabasd/internal/core"
+	"jabasd/internal/sim"
+)
+
+// Preset names accepted by Lookup.
+const (
+	PresetBaseline   = "baseline"    // 19 cells, 10 data users/cell, forward link
+	PresetLight      = "light-load"  // 4 data users per cell
+	PresetHeavy      = "heavy-load"  // 20 data users per cell
+	PresetReverse    = "reverse"     // reverse-link bursts
+	PresetPedestrian = "pedestrian"  // 3 km/h users, low Doppler
+	PresetVehicular  = "vehicular"   // 50-100 km/h users, high Doppler
+	PresetThroughput = "j1-max-tput" // pure throughput objective J1
+	PresetSmoke      = "smoke"       // tiny fast scenario for CI / demos
+)
+
+// Names returns the available preset names in sorted order.
+func Names() []string {
+	out := []string{
+		PresetBaseline, PresetLight, PresetHeavy, PresetReverse,
+		PresetPedestrian, PresetVehicular, PresetThroughput, PresetSmoke,
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the configuration for a named preset.
+func Lookup(name string) (sim.Config, error) {
+	cfg := sim.DefaultConfig()
+	switch name {
+	case PresetBaseline, "":
+		return cfg, nil
+	case PresetLight:
+		cfg.DataUsersPerCell = 4
+	case PresetHeavy:
+		cfg.DataUsersPerCell = 20
+	case PresetReverse:
+		cfg.Direction = sim.Reverse
+	case PresetPedestrian:
+		cfg.MinSpeed, cfg.MaxSpeed = 0.5, 1.5
+		cfg.DopplerHz = 6
+	case PresetVehicular:
+		cfg.MinSpeed, cfg.MaxSpeed = 14, 28
+		cfg.DopplerHz = 180
+	case PresetThroughput:
+		cfg.Objective = core.Objective{Kind: core.ObjectiveThroughput}
+	case PresetSmoke:
+		cfg.Rings = 1
+		cfg.SimTime = 10
+		cfg.WarmupTime = 2
+		cfg.DataUsersPerCell = 4
+		cfg.VoiceUsersPerCell = 4
+		cfg.Data.MeanReadingTimeSec = 4
+	default:
+		return sim.Config{}, fmt.Errorf("scenario: unknown preset %q (available: %v)", name, Names())
+	}
+	return cfg, nil
+}
+
+// Save writes a configuration as indented JSON to path.
+func Save(path string, cfg sim.Config) error {
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: encode: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("scenario: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a configuration from a JSON file and validates it.
+func Load(path string) (sim.Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("scenario: read %s: %w", path, err)
+	}
+	return Decode(data)
+}
+
+// Decode parses a configuration from JSON bytes and validates it.
+func Decode(data []byte) (sim.Config, error) {
+	cfg := sim.DefaultConfig() // unspecified fields keep their defaults
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return sim.Config{}, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return sim.Config{}, fmt.Errorf("scenario: invalid config: %w", err)
+	}
+	return cfg, nil
+}
+
+// Encode renders a configuration as indented JSON.
+func Encode(cfg sim.Config) ([]byte, error) {
+	return json.MarshalIndent(cfg, "", "  ")
+}

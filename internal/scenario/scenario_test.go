@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jabasd/internal/sim"
+)
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("expected 8 presets, got %d", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Error("names not sorted")
+		}
+	}
+}
+
+func TestLookupAllPresetsValid(t *testing.T) {
+	for _, name := range Names() {
+		cfg, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s produced an invalid config: %v", name, err)
+		}
+	}
+	if _, err := Lookup(""); err != nil {
+		t.Error("empty name should be the baseline preset")
+	}
+	if _, err := Lookup("no-such-preset"); err == nil {
+		t.Error("unknown preset should fail")
+	}
+}
+
+func TestPresetDifferences(t *testing.T) {
+	base, _ := Lookup(PresetBaseline)
+	light, _ := Lookup(PresetLight)
+	heavy, _ := Lookup(PresetHeavy)
+	rev, _ := Lookup(PresetReverse)
+	if light.DataUsersPerCell >= base.DataUsersPerCell {
+		t.Error("light preset should have fewer users")
+	}
+	if heavy.DataUsersPerCell <= base.DataUsersPerCell {
+		t.Error("heavy preset should have more users")
+	}
+	if rev.Direction != sim.Reverse {
+		t.Error("reverse preset should set reverse direction")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	cfg, _ := Lookup(PresetSmoke)
+	cfg.Seed = 12345
+	if err := Save(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Seed != 12345 || loaded.Rings != cfg.Rings || loaded.DataUsersPerCell != cfg.DataUsersPerCell {
+		t.Errorf("round trip mismatch: %+v vs %+v", loaded.Seed, cfg.Seed)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestDecodeInvalidJSON(t *testing.T) {
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Error("invalid JSON should fail")
+	}
+}
+
+func TestDecodeInvalidConfig(t *testing.T) {
+	if _, err := Decode([]byte(`{"SimTime": -5}`)); err == nil {
+		t.Error("invalid config values should fail validation")
+	}
+}
+
+func TestDecodePartialKeepsDefaults(t *testing.T) {
+	cfg, err := Decode([]byte(`{"DataUsersPerCell": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := sim.DefaultConfig()
+	if cfg.DataUsersPerCell != 3 {
+		t.Error("override not applied")
+	}
+	if cfg.Rings != def.Rings || cfg.MaxCellPowerW != def.MaxCellPowerW {
+		t.Error("unspecified fields should keep defaults")
+	}
+}
+
+func TestEncodeContainsFields(t *testing.T) {
+	cfg, _ := Lookup(PresetSmoke)
+	data, err := Encode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "DataUsersPerCell") || !strings.Contains(s, "Scheduler") {
+		t.Error("encoded JSON missing expected fields")
+	}
+}
+
+func TestSaveToBadPath(t *testing.T) {
+	cfg, _ := Lookup(PresetSmoke)
+	if err := Save(string(os.PathSeparator)+"no-such-dir-hopefully/x.json", cfg); err == nil {
+		t.Error("saving to an unwritable path should fail")
+	}
+}

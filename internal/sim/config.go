@@ -1,0 +1,226 @@
+// Package sim is the dynamic system-level simulator used to evaluate the
+// burst admission algorithms, following the methodology the paper describes:
+// a multi-cell wideband CDMA network with user mobility, per-frame power
+// control effects, soft hand-off (reduced active set), lognormal shadowing,
+// Rayleigh fast fading, an adaptive (VTAOC) physical layer and a burst
+// admission layer run every frame. Independent replications run in parallel
+// across goroutines.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"jabasd/internal/channel"
+	"jabasd/internal/core"
+	"jabasd/internal/mac"
+	"jabasd/internal/traffic"
+	"jabasd/internal/vtaoc"
+)
+
+// Direction selects which link the burst traffic uses.
+type Direction int
+
+const (
+	// Forward simulates forward-link (base-to-mobile) data bursts, limited by
+	// the cells' transmit power budget.
+	Forward Direction = iota
+	// Reverse simulates reverse-link (mobile-to-base) data bursts, limited by
+	// the cells' received interference budget.
+	Reverse
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Reverse {
+		return "reverse"
+	}
+	return "forward"
+}
+
+// SchedulerKind selects the scheduling sub-layer algorithm.
+type SchedulerKind string
+
+// Available scheduler kinds.
+const (
+	SchedulerJABASD     SchedulerKind = "jaba-sd"
+	SchedulerGreedy     SchedulerKind = "jaba-sd-greedy"
+	SchedulerFCFS       SchedulerKind = "fcfs"
+	SchedulerEqualShare SchedulerKind = "equal-share"
+	SchedulerRandom     SchedulerKind = "random"
+)
+
+// NewScheduler instantiates the named scheduler.
+func NewScheduler(kind SchedulerKind, seed uint64) (core.Scheduler, error) {
+	switch kind {
+	case SchedulerJABASD, "":
+		return core.NewJABASD(), nil
+	case SchedulerGreedy:
+		return &core.GreedyJABASD{}, nil
+	case SchedulerFCFS:
+		return &core.FCFS{}, nil
+	case SchedulerEqualShare:
+		return &core.EqualShare{}, nil
+	case SchedulerRandom:
+		return core.NewRandom(seed), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown scheduler %q", kind)
+	}
+}
+
+// Config holds every parameter of one simulation scenario.
+type Config struct {
+	// Randomness and duration.
+	Seed        uint64
+	SimTime     float64 // simulated seconds
+	WarmupTime  float64 // statistics discarded before this time
+	FrameLength float64 // admission frame, seconds (cdma2000: 20 ms)
+
+	// Topology.
+	Rings      int     // hexagonal rings around the centre cell (2 => 19 cells)
+	CellRadius float64 // metres
+	WrapAround bool
+
+	// Population.
+	DataUsersPerCell  int
+	VoiceUsersPerCell int
+
+	// Mobility.
+	MinSpeed float64 // m/s
+	MaxSpeed float64 // m/s
+
+	// Radio / channel.
+	PathLoss           channel.PathLossModel
+	ShadowSigmaDB      float64
+	ShadowDecorrM      float64
+	DopplerHz          float64
+	NoiseW             float64 // thermal noise power at a receiver, watts
+	MaxCellPowerW      float64 // P_max, forward-link power budget per cell
+	CommonOverheadFrac float64 // fraction of P_max always spent on pilot/common channels
+	VoiceChannelW      float64 // forward power of one active voice channel at cell edge reference
+	FCHTargetFraction  float64 // cap on one user's FCH power as a fraction of P_max
+	FCHEbIoTargetDB    float64 // forward FCH Eb/Io target
+	ReverseRiseLimit   float64 // L_max / thermal-noise (rise over thermal) cap, linear
+	SoftHandoffAddDB   float64 // active set add threshold
+	PilotMinEcIoDB     float64 // minimum usable pilot
+	PilotFraction      float64 // fraction of cell power on the pilot
+	ShadowMargin       float64 // κ margin for projected neighbour interference
+
+	// Physical layer.
+	VTAOC           vtaoc.Config
+	RatePlan        vtaoc.RatePlan
+	UseFixedRatePHY bool // ablation: replace the adaptive coder with one fixed mode
+	FixedRateMode   int
+
+	// Traffic.
+	Data traffic.DataModelConfig
+
+	// Admission layer.
+	Scheduler        SchedulerKind
+	Objective        core.Objective
+	MAC              mac.Config
+	MinBurstDuration float64 // T_l of equation (24), seconds
+
+	// Coverage accounting: a completed burst counts as "covered" when its
+	// average served rate meets this fraction of the FCH rate.
+	CoverageRateFraction float64
+
+	// Direction of the data bursts.
+	Direction Direction
+}
+
+// DefaultConfig returns the baseline scenario used throughout the
+// experiments: 19 wrap-around cells of 1 km radius, 10 data and 8 voice
+// users per cell, vehicular mobility, JABA-SD with the delay-aware objective.
+func DefaultConfig() Config {
+	return Config{
+		Seed:        1,
+		SimTime:     60,
+		WarmupTime:  5,
+		FrameLength: 0.02,
+
+		Rings:      2,
+		CellRadius: 1000,
+		WrapAround: true,
+
+		DataUsersPerCell:  10,
+		VoiceUsersPerCell: 8,
+
+		MinSpeed: 1,
+		MaxSpeed: 14, // ~3.6 .. 50 km/h
+
+		PathLoss:           channel.DefaultPathLoss(),
+		ShadowSigmaDB:      8,
+		ShadowDecorrM:      50,
+		DopplerHz:          55,
+		NoiseW:             4e-15, // ≈ -114 dBm in 3.75 MHz
+		MaxCellPowerW:      20,
+		CommonOverheadFrac: 0.2,
+		VoiceChannelW:      0.25,
+		FCHTargetFraction:  0.05,
+		FCHEbIoTargetDB:    7,
+		ReverseRiseLimit:   10, // 10 dB rise over thermal
+		SoftHandoffAddDB:   5,
+		PilotMinEcIoDB:     -16,
+		PilotFraction:      0.2,
+		ShadowMargin:       1.5,
+
+		VTAOC:         vtaoc.DefaultConfig(),
+		RatePlan:      vtaoc.DefaultRatePlan(),
+		FixedRateMode: 3,
+
+		Data: traffic.DefaultDataModelConfig(),
+
+		Scheduler:        SchedulerJABASD,
+		Objective:        core.DefaultObjective(),
+		MAC:              mac.DefaultConfig(),
+		MinBurstDuration: 0.08,
+
+		CoverageRateFraction: 1.0,
+		Direction:            Forward,
+	}
+}
+
+// Validate checks the configuration for obvious inconsistencies.
+func (c Config) Validate() error {
+	if c.SimTime <= 0 || c.FrameLength <= 0 {
+		return errors.New("sim: SimTime and FrameLength must be positive")
+	}
+	if c.WarmupTime < 0 || c.WarmupTime >= c.SimTime {
+		return errors.New("sim: WarmupTime must be in [0, SimTime)")
+	}
+	if c.Rings < 0 || c.CellRadius <= 0 {
+		return errors.New("sim: invalid topology")
+	}
+	if c.DataUsersPerCell < 0 || c.VoiceUsersPerCell < 0 {
+		return errors.New("sim: negative user counts")
+	}
+	if c.MaxCellPowerW <= 0 || c.NoiseW <= 0 {
+		return errors.New("sim: power budget and noise must be positive")
+	}
+	if c.CommonOverheadFrac < 0 || c.CommonOverheadFrac >= 1 {
+		return errors.New("sim: CommonOverheadFrac must be in [0,1)")
+	}
+	if c.ReverseRiseLimit <= 1 {
+		return errors.New("sim: ReverseRiseLimit must exceed 1")
+	}
+	if err := c.VTAOC.Validate(); err != nil {
+		return err
+	}
+	if err := c.RatePlan.Validate(); err != nil {
+		return err
+	}
+	if err := c.MAC.Validate(); err != nil {
+		return err
+	}
+	if err := c.Objective.Validate(); err != nil {
+		return err
+	}
+	if _, err := NewScheduler(c.Scheduler, c.Seed); err != nil {
+		return err
+	}
+	if c.UseFixedRatePHY && (c.FixedRateMode < 1 || c.FixedRateMode > c.VTAOC.NumModes) {
+		return errors.New("sim: FixedRateMode out of range")
+	}
+	return nil
+}

@@ -1,0 +1,591 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"jabasd/internal/cellular"
+	"jabasd/internal/channel"
+	"jabasd/internal/core"
+	"jabasd/internal/mac"
+	"jabasd/internal/mathx"
+	"jabasd/internal/measurement"
+	"jabasd/internal/mobility"
+	"jabasd/internal/rng"
+	"jabasd/internal/traffic"
+	"jabasd/internal/vtaoc"
+)
+
+// schCSIOffsetDB calibrates the supplemental-channel symbol Es/Io from the
+// user's downlink geometry (serving-cell power over other-cell interference
+// plus noise): the SCH enjoys the spreading/coding gain of the orthogonal
+// coder on top of the raw geometry. The exact value only shifts where users
+// sit on the VTAOC mode ladder; 12 dB places cell-centre users in the top
+// modes and cell-edge users around modes 1-2, matching the qualitative
+// behaviour of the adaptive physical layer papers.
+const schCSIOffsetDB = 12.0
+
+// nominalOtherCellActivity is the fraction of P_max neighbouring cells are
+// assumed to transmit at when computing a user's interference (used for FCH
+// power budgeting and geometry; the admission accounting itself uses the
+// actual tracked loads).
+const nominalOtherCellActivity = 0.75
+
+// phy abstracts the adaptive coder vs the fixed-rate ablation.
+type phy interface {
+	AverageThroughput(meanCSIDB float64) float64
+	Throughput(csiDB float64) float64
+}
+
+// burst is an ongoing (granted) data burst.
+type burst struct {
+	user      *dataUser
+	ratio     int
+	remaining float64
+	// load is the resource this burst consumes per cell while active:
+	// forward -> watts of base-station power, reverse -> watts of received
+	// interference, fixed at grant time.
+	load map[int]float64
+	// setupRemaining is the MAC set-up delay still to elapse before bits flow.
+	setupRemaining float64
+	servedBits     float64
+	serviceTime    float64
+	grantedAt      float64
+}
+
+// dataUser is one packet-data mobile.
+type dataUser struct {
+	id       int
+	mob      mobility.Model
+	fade     *rng.Jakes
+	shadow   []*channel.Shadowing
+	gain     []float64 // long-term linear power gain to every cell
+	pilots   []cellular.PilotMeasurement
+	active   []int
+	reduced  []int
+	hostCell int
+	source   *traffic.DataModel
+	macM     *mac.Machine
+
+	queuedReq  *traffic.BurstRequest
+	queuedCell int
+	firstGrant bool
+
+	fchPower  map[int]float64 // forward FCH power per reduced-set cell (W)
+	revFCHRx  map[int]float64 // reverse FCH received power per cell (W)
+	meanCSIdB float64         // local-mean SCH Es/Io (dB)
+	geometry  float64         // linear serving-power / (other + noise)
+}
+
+// voiceUser is one circuit voice mobile (background load only).
+type voiceUser struct {
+	model *traffic.VoiceModel
+	mob   mobility.Model
+	cell  int // serving cell, re-evaluated each frame from position only
+}
+
+// Engine runs one replication.
+type Engine struct {
+	cfg       Config
+	layout    *cellular.Layout
+	region    mobility.Region
+	coder     *vtaoc.Coder
+	phy       phy
+	scheduler core.Scheduler
+	src       *rng.Source
+
+	users  []*dataUser
+	voice  []*voiceUser
+	queues []*traffic.Queue // per cell
+	bursts []*burst
+
+	// currentLoad is the per-cell resource use this frame: forward-link
+	// transmit power (W) or reverse-link received power (W) depending on
+	// the configured direction.
+	currentLoad []float64
+
+	metrics *Metrics
+	now     float64
+}
+
+// NewEngine builds a ready-to-run engine for the configuration.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	coder, err := vtaoc.New(cfg.VTAOC)
+	if err != nil {
+		return nil, err
+	}
+	var p phy = coder
+	if cfg.UseFixedRatePHY {
+		fr, err := vtaoc.NewFixedRate(coder, cfg.FixedRateMode)
+		if err != nil {
+			return nil, err
+		}
+		p = fr
+	}
+	sched, err := NewScheduler(cfg.Scheduler, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	layout := cellular.NewHexLayout(cfg.Rings, cfg.CellRadius, cfg.WrapAround)
+	w, h := layout.Bounds()
+	e := &Engine{
+		cfg:       cfg,
+		layout:    layout,
+		region:    mobility.Region{Width: w, Height: h, Wrap: cfg.WrapAround},
+		coder:     coder,
+		phy:       p,
+		scheduler: sched,
+		src:       rng.New(cfg.Seed),
+		metrics: &Metrics{
+			Scheduler: sched.Name(),
+			Direction: cfg.Direction.String(),
+			Cells:     layout.NumCells(),
+		},
+	}
+	e.queues = make([]*traffic.Queue, layout.NumCells())
+	for k := range e.queues {
+		e.queues[k] = traffic.NewQueue()
+	}
+	e.currentLoad = make([]float64, layout.NumCells())
+	e.populate()
+	return e, nil
+}
+
+// populate creates the data and voice users.
+func (e *Engine) populate() {
+	nCells := e.layout.NumCells()
+	uid := 0
+	for c := 0; c < nCells; c++ {
+		for i := 0; i < e.cfg.DataUsersPerCell; i++ {
+			userSrc := e.src.Split(uint64(1000 + uid))
+			u := &dataUser{
+				id:       uid,
+				mob:      mobility.NewRandomWaypoint(userSrc.Split(1), e.region, e.cfg.MinSpeed, e.cfg.MaxSpeed, 30),
+				fade:     rng.NewJakes(userSrc.Split(2), 16, e.cfg.DopplerHz),
+				source:   traffic.NewDataModel(userSrc.Split(3), uid, e.cfg.Data),
+				macM:     mac.MustNewMachine(e.cfg.MAC),
+				gain:     make([]float64, nCells),
+				shadow:   make([]*channel.Shadowing, nCells),
+				fchPower: map[int]float64{},
+				revFCHRx: map[int]float64{},
+			}
+			for k := 0; k < nCells; k++ {
+				u.shadow[k] = channel.NewShadowing(userSrc.Split(uint64(10+k)), e.cfg.ShadowSigmaDB, e.cfg.ShadowDecorrM)
+			}
+			e.users = append(e.users, u)
+			uid++
+		}
+		for i := 0; i < e.cfg.VoiceUsersPerCell; i++ {
+			vsrc := e.src.Split(uint64(500000 + c*1000 + i))
+			e.voice = append(e.voice, &voiceUser{
+				model: traffic.NewVoiceModel(vsrc.Split(1), 1.0, 1.35),
+				mob:   mobility.NewRandomWaypoint(vsrc.Split(2), e.region, e.cfg.MinSpeed, e.cfg.MaxSpeed, 30),
+			})
+		}
+	}
+}
+
+// Run executes the replication and returns its metrics.
+func (e *Engine) Run() (*Metrics, error) {
+	frames := int(math.Ceil(e.cfg.SimTime / e.cfg.FrameLength))
+	for f := 0; f < frames; f++ {
+		e.now = float64(f) * e.cfg.FrameLength
+		e.step()
+	}
+	e.metrics.QueueLength.Finish(e.now)
+	e.metrics.ObservedTime = e.cfg.SimTime - e.cfg.WarmupTime
+	return e.metrics, nil
+}
+
+// step advances the system by one frame.
+func (e *Engine) step() {
+	dt := e.cfg.FrameLength
+	e.updateVoice(dt)
+	e.updateUsers(dt)
+	e.generateTraffic(dt)
+	e.accumulateLoads()
+	e.serveBursts(dt)
+	e.admit()
+	e.collect()
+}
+
+// updateVoice advances voice activity and positions.
+func (e *Engine) updateVoice(dt float64) {
+	for _, v := range e.voice {
+		v.model.Advance(dt)
+		v.mob.Advance(dt)
+		v.cell = e.layout.NearestCell(v.mob.Position())
+	}
+}
+
+// updateUsers advances mobility, channel state, pilot sets and MAC state for
+// every data user.
+func (e *Engine) updateUsers(dt float64) {
+	nCells := e.layout.NumCells()
+	fchPG := e.cfg.RatePlan.FCHSpreadingGain / e.cfg.RatePlan.FCHThroughput // W/Rb for the FCH
+	ebioTarget := mathx.Linear(e.cfg.FCHEbIoTargetDB)
+	for _, u := range e.users {
+		travelled := u.mob.Advance(dt)
+		pos := u.mob.Position()
+		for k := 0; k < nCells; k++ {
+			u.shadow[k].Advance(travelled)
+			lossDB := e.cfg.PathLoss.LossDB(e.layout.Distance(pos, k))
+			u.gain[k] = math.Pow(10, (-lossDB+u.shadow[k].CurrentDB())/10)
+		}
+		u.pilots = cellular.PilotSet(u.gain, e.cfg.PilotFraction, e.cfg.MaxCellPowerW, e.cfg.NoiseW)
+		u.active = cellular.ActiveSet(u.pilots, e.cfg.SoftHandoffAddDB, e.cfg.PilotMinEcIoDB, 3)
+		u.reduced = cellular.ReducedActiveSet(u.pilots, u.active)
+		if len(u.reduced) == 0 {
+			// Degenerate coverage hole: fall back to the strongest cell.
+			u.reduced = []int{u.pilots[0].Cell}
+		}
+		u.hostCell = u.reduced[0]
+
+		// Downlink geometry: serving-cell power over other-cell interference
+		// plus noise, with neighbours at nominal activity.
+		interference := e.cfg.NoiseW
+		for k := 0; k < nCells; k++ {
+			if k == u.hostCell {
+				continue
+			}
+			interference += nominalOtherCellActivity * e.cfg.MaxCellPowerW * u.gain[k]
+		}
+		u.geometry = e.cfg.MaxCellPowerW * u.gain[u.hostCell] / interference
+		u.meanCSIdB = mathx.DB(u.geometry) + schCSIOffsetDB
+
+		// Forward FCH power needed at each reduced-active-set cell (equation 6
+		// inputs): P = EbIo_target * I / (gain * processing gain), capped.
+		cap := e.cfg.FCHTargetFraction * e.cfg.MaxCellPowerW
+		for k := range u.fchPower {
+			delete(u.fchPower, k)
+		}
+		for _, k := range u.reduced {
+			req := ebioTarget * interference / (u.gain[k] * fchPG)
+			u.fchPower[k] = math.Min(req, cap)
+		}
+
+		// Reverse FCH received power at every cell, assuming the mobile's
+		// reverse power control holds the target at its best cell against a
+		// nominal half-limit interference level. Stored normalised by the
+		// thermal noise power (rise-over-thermal units) so that the admission
+		// arithmetic works on O(1) quantities.
+		nominalL := e.cfg.NoiseW * (1 + (e.cfg.ReverseRiseLimit-1)/2)
+		bestGain := u.gain[u.hostCell]
+		revTx := ebioTarget * nominalL / (bestGain * fchPG)
+		for k := range u.revFCHRx {
+			delete(u.revFCHRx, k)
+		}
+		for _, k := range u.reduced {
+			u.revFCHRx[k] = revTx * u.gain[k] / e.cfg.NoiseW
+		}
+
+		u.macM.AdvanceTo(e.now)
+	}
+}
+
+// generateTraffic advances the data sources and enqueues new burst requests.
+func (e *Engine) generateTraffic(dt float64) {
+	for _, u := range e.users {
+		req := u.source.Advance(dt, e.now)
+		if req == nil {
+			continue
+		}
+		u.queuedReq = req
+		u.queuedCell = u.hostCell
+		u.firstGrant = false
+		e.queues[u.hostCell].Push(req)
+		if e.now >= e.cfg.WarmupTime {
+			e.metrics.BurstsGenerated++
+		}
+	}
+}
+
+// accumulateLoads recomputes the per-cell resource use for this frame from
+// the background (voice + FCH) channels and the ongoing bursts.
+func (e *Engine) accumulateLoads() {
+	nCells := e.layout.NumCells()
+	for k := 0; k < nCells; k++ {
+		e.currentLoad[k] = 0
+	}
+	switch e.cfg.Direction {
+	case Forward:
+		for k := 0; k < nCells; k++ {
+			e.currentLoad[k] = e.cfg.CommonOverheadFrac * e.cfg.MaxCellPowerW
+		}
+		for _, v := range e.voice {
+			if v.model.Active() {
+				e.currentLoad[v.cell] += e.cfg.VoiceChannelW
+			}
+		}
+		for _, u := range e.users {
+			for k, p := range u.fchPower {
+				e.currentLoad[k] += p
+			}
+		}
+	case Reverse:
+		// Reverse-link quantities are tracked in rise-over-thermal units:
+		// the noise floor contributes 1 and the budget is ReverseRiseLimit.
+		for k := 0; k < nCells; k++ {
+			e.currentLoad[k] = 1
+		}
+		// Voice users raise the reverse interference of their serving cell by
+		// a fixed per-user share of the budget while talking.
+		voiceShare := (e.cfg.ReverseRiseLimit - 1) / 40
+		for _, v := range e.voice {
+			if v.model.Active() {
+				e.currentLoad[v.cell] += voiceShare
+			}
+		}
+		for _, u := range e.users {
+			for k, x := range u.revFCHRx {
+				e.currentLoad[k] += x
+			}
+		}
+	}
+	// Ongoing bursts occupy the resource they were granted.
+	for _, b := range e.bursts {
+		for k, p := range b.load {
+			e.currentLoad[k] += p
+		}
+	}
+}
+
+// serveBursts delivers bits on the active bursts and retires completed ones.
+func (e *Engine) serveBursts(dt float64) {
+	remaining := e.bursts[:0]
+	for _, b := range e.bursts {
+		u := b.user
+		if b.setupRemaining > 0 {
+			b.setupRemaining -= dt
+			b.serviceTime += dt
+			remaining = append(remaining, b)
+			continue
+		}
+		// Instantaneous VTAOC throughput rides the fast fading.
+		instCSI := u.meanCSIdB + mathx.DB(math.Max(u.fade.PowerAt(e.now), 1e-12))
+		bp := e.phy.Throughput(instCSI)
+		rate := e.cfg.RatePlan.SCHBitRate(b.ratio, bp)
+		delivered := rate * dt
+		if delivered > b.remaining {
+			delivered = b.remaining
+		}
+		b.remaining -= delivered
+		b.servedBits += delivered
+		b.serviceTime += dt
+		if e.now >= e.cfg.WarmupTime {
+			e.metrics.BitsDelivered += delivered
+		}
+		u.macM.Touch(e.now)
+		if b.remaining <= 0 {
+			e.completeBurst(b)
+			continue
+		}
+		remaining = append(remaining, b)
+	}
+	e.bursts = remaining
+}
+
+// completeBurst records statistics for a finished burst and releases the user.
+func (e *Engine) completeBurst(b *burst) {
+	u := b.user
+	req := u.queuedReq
+	if e.now >= e.cfg.WarmupTime && req != nil {
+		delay := e.now + e.cfg.FrameLength - req.ArrivalTime
+		e.metrics.BurstDelay.Add(delay)
+		e.metrics.BurstsCompleted++
+		if b.serviceTime > 0 {
+			avgRate := b.servedBits / b.serviceTime
+			e.metrics.ServedRate.Add(avgRate)
+			if avgRate >= e.cfg.CoverageRateFraction*e.cfg.RatePlan.FCHBitRate() {
+				e.metrics.CoveredBursts++
+			}
+		}
+	}
+	u.queuedReq = nil
+	u.source.BurstDone()
+	u.macM.Touch(e.now)
+}
+
+// admit runs the measurement and scheduling sub-layers for every cell.
+func (e *Engine) admit() {
+	for k := 0; k < e.layout.NumCells(); k++ {
+		queue := e.queues[k]
+		if queue.Len() == 0 {
+			continue
+		}
+		items := append([]*traffic.BurstRequest(nil), queue.Items()...)
+		reqs := make([]core.Request, 0, len(items))
+		users := make([]*dataUser, 0, len(items))
+		var fwdReqs []measurement.ForwardRequest
+		var revReqs []measurement.ReverseRequest
+		for _, item := range items {
+			u := e.userByID(item.UserID)
+			if u == nil || u.queuedReq != item {
+				queue.Remove(item) // stale entry
+				continue
+			}
+			bp := e.phy.AverageThroughput(u.meanCSIdB)
+			wait := e.now - item.ArrivalTime
+			reqs = append(reqs, core.Request{
+				UserID:        u.id,
+				SizeBits:      item.SizeBits,
+				WaitingTime:   wait,
+				SetupDelay:    u.macM.SetupDelayNow(e.now),
+				Priority:      item.Priority,
+				AvgThroughput: bp,
+				MaxRatio:      e.cfg.RatePlan.MaxUsefulRatio(item.SizeBits, bp, e.cfg.MinBurstDuration),
+			})
+			users = append(users, u)
+			switch e.cfg.Direction {
+			case Forward:
+				fr := measurement.ForwardRequest{UserID: u.id, FCHPower: map[int]float64{}, Alpha: 1}
+				for c, p := range u.fchPower {
+					fr.FCHPower[c] = p
+				}
+				fwdReqs = append(fwdReqs, fr)
+			case Reverse:
+				rp := map[int]float64{}
+				zeta := 4.0
+				for c, x := range u.revFCHRx {
+					rp[c] = x / (zeta * math.Max(e.currentLoad[c], 1))
+				}
+				scrmPilots := map[int]float64{}
+				for _, pm := range u.pilots {
+					scrmPilots[pm.Cell] = pm.EcIo
+				}
+				revReqs = append(revReqs, measurement.ReverseRequest{
+					UserID:       u.id,
+					HostCell:     u.hostCell,
+					ReversePilot: rp,
+					SCRM:         measurement.NewSCRM(scrmPilots),
+					Zeta:         zeta,
+					Alpha:        1,
+				})
+			}
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+
+		var region measurement.Region
+		var err error
+		switch e.cfg.Direction {
+		case Forward:
+			region, err = measurement.ForwardRegion(measurement.ForwardState{
+				CurrentLoad: e.currentLoad,
+				MaxLoad:     e.cfg.MaxCellPowerW,
+				GammaS:      e.cfg.RatePlan.GammaS,
+			}, fwdReqs)
+		case Reverse:
+			region, err = measurement.ReverseRegion(measurement.ReverseState{
+				TotalReceived: e.currentLoad,
+				MaxReceived:   e.cfg.ReverseRiseLimit,
+				GammaS:        e.cfg.RatePlan.GammaS,
+				ShadowMargin:  e.cfg.ShadowMargin,
+			}, revReqs)
+		}
+		if err != nil {
+			continue // skip this cell this frame rather than abort the run
+		}
+
+		problem := core.Problem{
+			Requests:  reqs,
+			Region:    region,
+			MaxRatio:  e.cfg.RatePlan.MaxSpreadingRatio,
+			Objective: e.cfg.Objective,
+			MAC:       &e.cfg.MAC,
+		}
+		assignment, err := e.scheduler.Schedule(problem)
+		if err != nil {
+			continue
+		}
+		for j, m := range assignment.Ratios {
+			if m <= 0 {
+				continue
+			}
+			u := users[j]
+			item := u.queuedReq
+			queue.Remove(item)
+			load := map[int]float64{}
+			switch e.cfg.Direction {
+			case Forward:
+				for c, p := range u.fchPower {
+					load[c] = e.cfg.RatePlan.GammaS * float64(m) * p
+				}
+			case Reverse:
+				for c, x := range u.revFCHRx {
+					load[c] = e.cfg.RatePlan.GammaS * float64(m) * x
+				}
+			}
+			b := &burst{
+				user:           u,
+				ratio:          m,
+				remaining:      item.SizeBits,
+				load:           load,
+				setupRemaining: u.macM.SetupDelayNow(e.now),
+				grantedAt:      e.now,
+			}
+			e.bursts = append(e.bursts, b)
+			for c, p := range load {
+				e.currentLoad[c] += p
+			}
+			if e.now >= e.cfg.WarmupTime {
+				e.metrics.AssignedRatio.Add(float64(m))
+				if !u.firstGrant {
+					e.metrics.AdmissionWait.Add(e.now - item.ArrivalTime)
+				}
+			}
+			u.firstGrant = true
+		}
+	}
+}
+
+// collect records per-frame statistics.
+func (e *Engine) collect() {
+	if e.now < e.cfg.WarmupTime {
+		return
+	}
+	budget := e.cfg.MaxCellPowerW
+	if e.cfg.Direction == Reverse {
+		budget = e.cfg.ReverseRiseLimit
+	}
+	for k := 0; k < e.layout.NumCells(); k++ {
+		e.metrics.CellLoad.Add(mathx.Clamp(e.currentLoad[k]/budget, 0, 2))
+	}
+	total := 0
+	for _, q := range e.queues {
+		total += q.Len()
+	}
+	e.metrics.QueueLength.Observe(e.now, float64(total))
+}
+
+// userByID finds a data user by identifier.
+func (e *Engine) userByID(id int) *dataUser {
+	if id >= 0 && id < len(e.users) && e.users[id].id == id {
+		return e.users[id]
+	}
+	for _, u := range e.users {
+		if u.id == id {
+			return u
+		}
+	}
+	return nil
+}
+
+// Run executes a single replication of the scenario described by cfg.
+func Run(cfg Config) (*Metrics, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// String describes the engine.
+func (e *Engine) String() string {
+	return fmt.Sprintf("Engine(%s, %d cells, %d data users, %s link)",
+		e.scheduler.Name(), e.layout.NumCells(), len(e.users), e.cfg.Direction)
+}

@@ -1,0 +1,228 @@
+package sim
+
+// White-box tests for the engine internals: user/channel state updates, load
+// accounting, admission bookkeeping and burst service. They complement the
+// black-box scenario tests in sim_test.go.
+
+import (
+	"math"
+	"testing"
+)
+
+func newTestEngine(t *testing.T, mutate func(*Config)) *Engine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Rings = 1
+	cfg.SimTime = 5
+	cfg.WarmupTime = 0
+	cfg.DataUsersPerCell = 3
+	cfg.VoiceUsersPerCell = 2
+	cfg.Data.MeanReadingTimeSec = 1
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestPopulateCounts(t *testing.T) {
+	e := newTestEngine(t, nil)
+	if len(e.users) != 7*3 {
+		t.Errorf("data users = %d, want 21", len(e.users))
+	}
+	if len(e.voice) != 7*2 {
+		t.Errorf("voice users = %d, want 14", len(e.voice))
+	}
+	if len(e.queues) != 7 || len(e.currentLoad) != 7 {
+		t.Error("per-cell structures sized wrong")
+	}
+	// Every user must have one shadowing process per cell and a fading source.
+	for _, u := range e.users {
+		if len(u.shadow) != 7 || len(u.gain) != 7 || u.fade == nil || u.source == nil || u.macM == nil {
+			t.Fatal("user substructures not initialised")
+		}
+	}
+}
+
+func TestUpdateUsersProducesConsistentState(t *testing.T) {
+	e := newTestEngine(t, nil)
+	e.now = 0
+	e.updateUsers(e.cfg.FrameLength)
+	for _, u := range e.users {
+		// Gains must be positive and finite.
+		for k, g := range u.gain {
+			if g <= 0 || math.IsInf(g, 0) || math.IsNaN(g) {
+				t.Fatalf("user %d gain to cell %d invalid: %v", u.id, k, g)
+			}
+		}
+		// Reduced active set must be 1 or 2 cells, subset of the active set
+		// (when the active set is non-empty), and hostCell its first entry.
+		if len(u.reduced) < 1 || len(u.reduced) > 2 {
+			t.Fatalf("reduced set size %d", len(u.reduced))
+		}
+		if u.hostCell != u.reduced[0] {
+			t.Error("hostCell must be the strongest reduced-set cell")
+		}
+		// FCH powers exist exactly for the reduced-set cells and respect the cap.
+		cap := e.cfg.FCHTargetFraction * e.cfg.MaxCellPowerW
+		if len(u.fchPower) != len(u.reduced) {
+			t.Errorf("fchPower entries %d != reduced set %d", len(u.fchPower), len(u.reduced))
+		}
+		for _, p := range u.fchPower {
+			if p <= 0 || p > cap+1e-12 {
+				t.Errorf("FCH power %v outside (0, %v]", p, cap)
+			}
+		}
+		// Geometry and CSI must be finite.
+		if math.IsNaN(u.meanCSIdB) || math.IsInf(u.meanCSIdB, 0) {
+			t.Error("meanCSIdB not finite")
+		}
+		// Reverse FCH received powers (normalised) must be positive.
+		for _, x := range u.revFCHRx {
+			if x <= 0 || math.IsNaN(x) {
+				t.Errorf("reverse FCH received power invalid: %v", x)
+			}
+		}
+	}
+}
+
+func TestAccumulateLoadsForwardIncludesOverheadAndFCH(t *testing.T) {
+	e := newTestEngine(t, nil)
+	e.updateVoice(e.cfg.FrameLength)
+	e.updateUsers(e.cfg.FrameLength)
+	e.accumulateLoads()
+	minOverhead := e.cfg.CommonOverheadFrac * e.cfg.MaxCellPowerW
+	for k, load := range e.currentLoad {
+		if load < minOverhead {
+			t.Errorf("cell %d load %v below the common-channel overhead %v", k, load, minOverhead)
+		}
+	}
+	// Total FCH power across cells must be accounted: the sum of loads must
+	// exceed overhead*K by at least the sum of all users' FCH powers.
+	sumLoad, sumFCH := 0.0, 0.0
+	for _, l := range e.currentLoad {
+		sumLoad += l
+	}
+	for _, u := range e.users {
+		for _, p := range u.fchPower {
+			sumFCH += p
+		}
+	}
+	if sumLoad < minOverhead*float64(len(e.currentLoad))+sumFCH-1e-9 {
+		t.Error("per-cell loads do not account for all FCH power")
+	}
+}
+
+func TestAccumulateLoadsReverseStartsAtNoiseFloor(t *testing.T) {
+	e := newTestEngine(t, func(c *Config) { c.Direction = Reverse })
+	e.updateVoice(e.cfg.FrameLength)
+	e.updateUsers(e.cfg.FrameLength)
+	e.accumulateLoads()
+	for k, load := range e.currentLoad {
+		if load < 1 {
+			t.Errorf("cell %d reverse load %v below the normalised noise floor", k, load)
+		}
+		if load > e.cfg.ReverseRiseLimit*3 {
+			t.Errorf("cell %d reverse load %v implausibly high before any burst", k, load)
+		}
+	}
+}
+
+func TestAdmitGrantsAndAccountsLoad(t *testing.T) {
+	e := newTestEngine(t, func(c *Config) {
+		c.Data.MeanReadingTimeSec = 0.2 // requests appear almost immediately
+	})
+	// Drive a few frames manually until a burst is granted.
+	granted := false
+	for f := 0; f < 200 && !granted; f++ {
+		e.now = float64(f) * e.cfg.FrameLength
+		e.step()
+		granted = len(e.bursts) > 0
+	}
+	if !granted {
+		t.Fatal("no burst was ever granted")
+	}
+	for _, b := range e.bursts {
+		if b.ratio < 1 || b.ratio > e.cfg.RatePlan.MaxSpreadingRatio {
+			t.Errorf("granted ratio %d out of range", b.ratio)
+		}
+		if b.remaining <= 0 {
+			t.Error("active burst has nothing left to send")
+		}
+		if len(b.load) == 0 {
+			t.Error("active burst holds no resources")
+		}
+		for cell, p := range b.load {
+			if p <= 0 {
+				t.Errorf("burst load at cell %d is %v", cell, p)
+			}
+		}
+		// The user that owns the burst must not be queued anywhere.
+		for _, q := range e.queues {
+			for _, item := range q.Items() {
+				if item == b.user.queuedReq && b.user.queuedReq != nil {
+					t.Error("granted request still sits in a queue")
+				}
+			}
+		}
+	}
+}
+
+func TestServeBurstsCompletesAndReleasesUser(t *testing.T) {
+	e := newTestEngine(t, func(c *Config) {
+		c.Data.MeanReadingTimeSec = 0.2
+		c.Data.MinSizeBits = 20_000
+		c.Data.MaxSizeBits = 20_000 // tiny bursts finish quickly
+	})
+	completedBefore := e.metrics.BurstsCompleted
+	for f := 0; f < 600; f++ {
+		e.now = float64(f) * e.cfg.FrameLength
+		e.step()
+	}
+	if e.metrics.BurstsCompleted <= completedBefore {
+		t.Fatal("no burst completed")
+	}
+	// Completed users must be back in the thinking state (pending nil).
+	busy := 0
+	for _, u := range e.users {
+		if u.queuedReq != nil {
+			busy++
+		}
+	}
+	if busy == len(e.users) {
+		t.Error("every user is still busy; BurstDone propagation suspect")
+	}
+	if e.metrics.BitsDelivered <= 0 {
+		t.Error("no bits were accounted as delivered")
+	}
+}
+
+func TestUserByID(t *testing.T) {
+	e := newTestEngine(t, nil)
+	for _, u := range e.users {
+		if got := e.userByID(u.id); got != u {
+			t.Fatalf("userByID(%d) returned the wrong user", u.id)
+		}
+	}
+	if e.userByID(-1) != nil || e.userByID(10_000) != nil {
+		t.Error("unknown ids should return nil")
+	}
+}
+
+func TestCollectRespectsWarmup(t *testing.T) {
+	e := newTestEngine(t, func(c *Config) { c.WarmupTime = 2 })
+	e.now = 1 // before warm-up
+	e.accumulateLoads()
+	e.collect()
+	if e.metrics.CellLoad.Count() != 0 {
+		t.Error("statistics must not be collected during warm-up")
+	}
+	e.now = 3
+	e.collect()
+	if e.metrics.CellLoad.Count() == 0 {
+		t.Error("statistics must be collected after warm-up")
+	}
+}

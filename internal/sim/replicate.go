@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunReplications runs n independent replications of the scenario in
+// parallel (bounded by GOMAXPROCS) and merges their metrics. Replication i
+// uses seed cfg.Seed + i, so results are reproducible for a given base seed
+// regardless of scheduling.
+func RunReplications(cfg Config, n int) (*Aggregate, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: need at least one replication, got %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	type result struct {
+		idx int
+		m   *Metrics
+		err error
+	}
+	results := make([]result, n)
+	sem := make(chan struct{}, maxParallel())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			repCfg := cfg
+			repCfg.Seed = cfg.Seed + uint64(i)
+			m, err := Run(repCfg)
+			results[i] = result{idx: i, m: m, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	agg := &Aggregate{}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("sim: replication %d failed: %w", r.idx, r.err)
+		}
+		agg.AddReplication(r.m)
+	}
+	return agg, nil
+}
+
+// maxParallel bounds the replication fan-out.
+func maxParallel() int {
+	p := runtime.GOMAXPROCS(0)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// CompareSchedulers runs the same scenario (same seeds, so common random
+// numbers) once per scheduler kind and returns the aggregates keyed by the
+// scheduler kind, preserving the requested order.
+func CompareSchedulers(cfg Config, kinds []SchedulerKind, reps int) (map[SchedulerKind]*Aggregate, error) {
+	out := make(map[SchedulerKind]*Aggregate, len(kinds))
+	for _, k := range kinds {
+		c := cfg
+		c.Scheduler = k
+		agg, err := RunReplications(c, reps)
+		if err != nil {
+			return nil, fmt.Errorf("sim: scheduler %s: %w", k, err)
+		}
+		out[k] = agg
+	}
+	return out, nil
+}

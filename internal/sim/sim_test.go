@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"jabasd/internal/core"
+)
+
+// quickConfig returns a small, fast scenario for unit tests: 7 cells, short
+// simulated time, aggressive traffic so bursts actually happen.
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Rings = 1
+	cfg.SimTime = 8
+	cfg.WarmupTime = 1
+	cfg.FrameLength = 0.05
+	cfg.DataUsersPerCell = 4
+	cfg.VoiceUsersPerCell = 4
+	cfg.Data.MeanReadingTimeSec = 2
+	cfg.Data.MaxSizeBits = 400_000
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.SimTime = 0 },
+		func(c *Config) { c.FrameLength = 0 },
+		func(c *Config) { c.WarmupTime = c.SimTime + 1 },
+		func(c *Config) { c.Rings = -1 },
+		func(c *Config) { c.CellRadius = 0 },
+		func(c *Config) { c.DataUsersPerCell = -1 },
+		func(c *Config) { c.MaxCellPowerW = 0 },
+		func(c *Config) { c.NoiseW = 0 },
+		func(c *Config) { c.CommonOverheadFrac = 1 },
+		func(c *Config) { c.ReverseRiseLimit = 1 },
+		func(c *Config) { c.VTAOC.NumModes = 0 },
+		func(c *Config) { c.RatePlan.GammaS = 0 },
+		func(c *Config) { c.MAC.T3 = c.MAC.T2 - 1 },
+		func(c *Config) { c.Objective.RateScale = 0 },
+		func(c *Config) { c.Scheduler = "bogus" },
+		func(c *Config) { c.UseFixedRatePHY = true; c.FixedRateMode = 99 },
+	}
+	for i, mut := range mutations {
+		c := DefaultConfig()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d should invalidate the config", i)
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Forward.String() != "forward" || Reverse.String() != "reverse" {
+		t.Error("Direction.String broken")
+	}
+}
+
+func TestNewSchedulerKinds(t *testing.T) {
+	kinds := []SchedulerKind{SchedulerJABASD, SchedulerGreedy, SchedulerFCFS, SchedulerEqualShare, SchedulerRandom, ""}
+	for _, k := range kinds {
+		if _, err := NewScheduler(k, 1); err != nil {
+			t.Errorf("NewScheduler(%q) failed: %v", k, err)
+		}
+	}
+	if _, err := NewScheduler("nope", 1); err == nil {
+		t.Error("unknown scheduler should fail")
+	}
+}
+
+func TestRunForwardProducesTraffic(t *testing.T) {
+	cfg := quickConfig()
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BurstsGenerated == 0 {
+		t.Fatal("no bursts generated; traffic model or warm-up is broken")
+	}
+	if m.BurstsCompleted == 0 {
+		t.Fatal("no bursts completed; admission or service is broken")
+	}
+	if m.BurstDelay.Len() == 0 {
+		t.Error("no delay samples recorded")
+	}
+	if m.MeanBurstDelay() <= 0 {
+		t.Error("mean delay should be positive")
+	}
+	if m.ThroughputPerCell() <= 0 {
+		t.Error("throughput should be positive")
+	}
+	if m.CellLoad.Mean() <= 0 || m.CellLoad.Mean() > 1.5 {
+		t.Errorf("mean cell load = %v, expected (0, 1.5]", m.CellLoad.Mean())
+	}
+	if m.Cells != 7 {
+		t.Errorf("cells = %d, want 7", m.Cells)
+	}
+	if m.CompletionRatio() <= 0 || m.CompletionRatio() > 1 {
+		t.Errorf("completion ratio = %v", m.CompletionRatio())
+	}
+	if m.Coverage() < 0 || m.Coverage() > 1 {
+		t.Errorf("coverage = %v", m.Coverage())
+	}
+	if m.String() == "" {
+		t.Error("metrics String empty")
+	}
+}
+
+func TestRunReverseLink(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Direction = Reverse
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Direction != "reverse" {
+		t.Errorf("direction = %q", m.Direction)
+	}
+	if m.BurstsGenerated == 0 || m.BurstsCompleted == 0 {
+		t.Fatalf("reverse-link run served nothing: %d/%d", m.BurstsCompleted, m.BurstsGenerated)
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	cfg := quickConfig()
+	cfg.SimTime = 4
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BurstsGenerated != b.BurstsGenerated || a.BurstsCompleted != b.BurstsCompleted {
+		t.Errorf("same seed produced different burst counts: %d/%d vs %d/%d",
+			a.BurstsCompleted, a.BurstsGenerated, b.BurstsCompleted, b.BurstsGenerated)
+	}
+	if math.Abs(a.MeanBurstDelay()-b.MeanBurstDelay()) > 1e-12 {
+		t.Error("same seed produced different delays")
+	}
+	if math.Abs(a.BitsDelivered-b.BitsDelivered) > 1e-6 {
+		t.Error("same seed produced different delivered bits")
+	}
+}
+
+func TestRunDifferentSeedsDiffer(t *testing.T) {
+	cfg := quickConfig()
+	cfg.SimTime = 4
+	a, _ := Run(cfg)
+	cfg.Seed = 999
+	b, _ := Run(cfg)
+	if a.BitsDelivered == b.BitsDelivered && a.BurstsGenerated == b.BurstsGenerated &&
+		a.MeanBurstDelay() == b.MeanBurstDelay() {
+		t.Error("different seeds produced identical results; randomisation suspect")
+	}
+}
+
+func TestRunAllSchedulers(t *testing.T) {
+	for _, k := range []SchedulerKind{SchedulerJABASD, SchedulerGreedy, SchedulerFCFS, SchedulerEqualShare, SchedulerRandom} {
+		cfg := quickConfig()
+		cfg.SimTime = 5
+		cfg.Scheduler = k
+		m, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if m.BurstsCompleted == 0 {
+			t.Errorf("%s completed no bursts", k)
+		}
+	}
+}
+
+func TestRunFixedRatePHYAblation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.SimTime = 5
+	cfg.UseFixedRatePHY = true
+	cfg.FixedRateMode = 2
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BurstsGenerated == 0 {
+		t.Error("fixed-rate ablation generated no traffic")
+	}
+}
+
+func TestInvalidConfigRejectedByRun(t *testing.T) {
+	cfg := quickConfig()
+	cfg.SimTime = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run should reject invalid config")
+	}
+	if _, err := NewEngine(cfg); err == nil {
+		t.Error("NewEngine should reject invalid config")
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	e, err := NewEngine(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() == "" {
+		t.Error("engine String empty")
+	}
+}
+
+func TestRunReplicationsParallelMerge(t *testing.T) {
+	cfg := quickConfig()
+	cfg.SimTime = 4
+	agg, err := RunReplications(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Replications != 3 {
+		t.Errorf("replications = %d", agg.Replications)
+	}
+	if agg.MeanDelay.Count() != 3 || agg.Throughput.Count() != 3 {
+		t.Error("aggregate should hold one observation per replication")
+	}
+	if agg.MeanDelay.Mean() <= 0 {
+		t.Error("aggregate delay should be positive")
+	}
+	if agg.String() == "" {
+		t.Error("aggregate String empty")
+	}
+	if _, err := RunReplications(cfg, 0); err == nil {
+		t.Error("zero replications should fail")
+	}
+	bad := cfg
+	bad.SimTime = 0
+	if _, err := RunReplications(bad, 2); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestRunReplicationsReproducible(t *testing.T) {
+	cfg := quickConfig()
+	cfg.SimTime = 3
+	a, err := RunReplications(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReplications(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.MeanDelay.Mean()-b.MeanDelay.Mean()) > 1e-12 {
+		t.Error("replication aggregate not reproducible for fixed seed")
+	}
+}
+
+func TestCompareSchedulers(t *testing.T) {
+	cfg := quickConfig()
+	cfg.SimTime = 4
+	kinds := []SchedulerKind{SchedulerJABASD, SchedulerFCFS}
+	out, err := CompareSchedulers(cfg, kinds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("expected 2 aggregates, got %d", len(out))
+	}
+	for _, k := range kinds {
+		if out[k] == nil || out[k].Replications != 1 {
+			t.Errorf("missing aggregate for %s", k)
+		}
+	}
+	bad := cfg
+	bad.SimTime = 0
+	if _, err := CompareSchedulers(bad, kinds, 1); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestHigherLoadIncreasesDelay(t *testing.T) {
+	// Doubling the data population should not reduce the mean burst delay:
+	// the headline qualitative behaviour every admission scheme must show.
+	light := quickConfig()
+	light.SimTime = 10
+	light.DataUsersPerCell = 2
+	heavy := light
+	heavy.DataUsersPerCell = 14
+	lm, err := Run(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := Run(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.BurstsCompleted == 0 || hm.BurstsCompleted == 0 {
+		t.Skip("not enough completions in the short test run to compare")
+	}
+	if hm.MeanBurstDelay()+1e-9 < lm.MeanBurstDelay()*0.5 {
+		t.Errorf("heavy load delay (%v) implausibly below light load delay (%v)",
+			hm.MeanBurstDelay(), lm.MeanBurstDelay())
+	}
+}
+
+func TestObjectiveJ1VersusJ2RunsBoth(t *testing.T) {
+	cfg := quickConfig()
+	cfg.SimTime = 5
+	cfg.Objective = core.Objective{Kind: core.ObjectiveThroughput}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("J1 run failed: %v", err)
+	}
+	cfg.Objective = core.DefaultObjective()
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("J2 run failed: %v", err)
+	}
+}

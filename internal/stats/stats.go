@@ -1,0 +1,306 @@
+// Package stats provides the streaming and batch statistics used to report
+// simulation results: Welford running moments, histograms, quantiles,
+// batch-means confidence intervals and time-weighted averages.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates streaming mean and variance with Welford's algorithm.
+// The zero value is ready to use.
+type Running struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// AddN incorporates x as if it had been observed k times.
+func (r *Running) AddN(x float64, k int64) {
+	for i := int64(0); i < k; i++ {
+		r.Add(x)
+	}
+}
+
+// Merge combines another accumulator into r (parallel reduction).
+func (r *Running) Merge(o *Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *o
+		return
+	}
+	n := r.n + o.n
+	delta := o.mean - r.mean
+	mean := r.mean + delta*float64(o.n)/float64(n)
+	m2 := r.m2 + o.m2 + delta*delta*float64(r.n)*float64(o.n)/float64(n)
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+	r.n, r.mean, r.m2 = n, mean, m2
+}
+
+// Count returns the number of observations.
+func (r *Running) Count() int64 { return r.n }
+
+// Mean returns the sample mean (0 when empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than 2 samples).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.max
+}
+
+// StdErr returns the standard error of the mean.
+func (r *Running) StdErr() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// ConfidenceInterval95 returns the half-width of an approximate 95%
+// confidence interval for the mean using the normal critical value. For the
+// handful-of-replications case the Student-t value for n-1 degrees of freedom
+// is used instead (table up to 30 df).
+func (r *Running) ConfidenceInterval95() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return tCritical95(int(r.n-1)) * r.StdErr()
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom (falls back to 1.96 for df > 30).
+func tCritical95(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+		2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}
+
+// String summarises the accumulator.
+func (r *Running) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		r.n, r.Mean(), r.StdDev(), r.Min(), r.Max())
+}
+
+// Sample collects raw observations for quantile computation.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range s.xs {
+		t += x
+	}
+	return t / float64(len(s.xs))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using linear
+// interpolation between order statistics. Returns 0 when empty.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Values returns a copy of the collected observations.
+func (s *Sample) Values() []float64 {
+	return append([]float64(nil), s.xs...)
+}
+
+// Histogram is a fixed-width bin histogram over [Lo, Hi); observations
+// outside the range are counted in the under/overflow bins.
+type Histogram struct {
+	Lo, Hi    float64
+	Bins      []int64
+	Under     int64
+	Over      int64
+	totalObs  int64
+	sumValues float64
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.totalObs++
+	h.sumValues += x
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	if x >= h.Hi {
+		h.Over++
+		return
+	}
+	idx := int(float64(len(h.Bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx >= len(h.Bins) {
+		idx = len(h.Bins) - 1
+	}
+	h.Bins[idx]++
+}
+
+// Count returns the total number of observations including overflow.
+func (h *Histogram) Count() int64 { return h.totalObs }
+
+// Mean returns the mean of all observations (including out-of-range ones).
+func (h *Histogram) Mean() float64 {
+	if h.totalObs == 0 {
+		return 0
+	}
+	return h.sumValues / float64(h.totalObs)
+}
+
+// BinCenter returns the centre of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Fraction returns the fraction of in-range observations falling in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	inRange := h.totalObs - h.Under - h.Over
+	if inRange == 0 {
+		return 0
+	}
+	return float64(h.Bins[i]) / float64(inRange)
+}
+
+// TimeWeighted accumulates the time average of a piecewise-constant signal,
+// e.g. the number of active bursts or the cell loading over simulated time.
+type TimeWeighted struct {
+	lastT    float64
+	lastV    float64
+	area     float64
+	duration float64
+	started  bool
+}
+
+// Observe records that the signal took value v starting at time t. The value
+// is held until the next Observe or Finish call.
+func (tw *TimeWeighted) Observe(t, v float64) {
+	if tw.started && t > tw.lastT {
+		dt := t - tw.lastT
+		tw.area += tw.lastV * dt
+		tw.duration += dt
+	}
+	tw.lastT = t
+	tw.lastV = v
+	tw.started = true
+}
+
+// Finish closes the signal at time t (holding the last observed value).
+func (tw *TimeWeighted) Finish(t float64) {
+	if tw.started && t > tw.lastT {
+		dt := t - tw.lastT
+		tw.area += tw.lastV * dt
+		tw.duration += dt
+		tw.lastT = t
+	}
+}
+
+// Mean returns the time-weighted average observed so far.
+func (tw *TimeWeighted) Mean() float64 {
+	if tw.duration == 0 {
+		return 0
+	}
+	return tw.area / tw.duration
+}
+
+// Duration returns the total observed duration.
+func (tw *TimeWeighted) Duration() float64 { return tw.duration }

@@ -1,0 +1,268 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if r.Count() != 8 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if math.Abs(r.Variance()-32.0/7.0) > 1e-9 {
+		t.Errorf("Variance = %v, want %v", r.Variance(), 32.0/7.0)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+	if r.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.Min() != 0 || r.Max() != 0 ||
+		r.StdErr() != 0 || r.ConfidenceInterval95() != 0 {
+		t.Error("empty Running should return zeros")
+	}
+}
+
+func TestRunningMergeEquivalence(t *testing.T) {
+	f := func(seedA, seedB uint64) bool {
+		genVals := func(seed uint64, n int) []float64 {
+			s := seed
+			out := make([]float64, n)
+			for i := range out {
+				s = s*6364136223846793005 + 1442695040888963407
+				out[i] = float64(s>>11) / (1 << 53) * 100
+			}
+			return out
+		}
+		a := genVals(seedA, 37)
+		b := genVals(seedB, 53)
+		var all, ra, rb Running
+		for _, x := range a {
+			all.Add(x)
+			ra.Add(x)
+		}
+		for _, x := range b {
+			all.Add(x)
+			rb.Add(x)
+		}
+		ra.Merge(&rb)
+		return math.Abs(all.Mean()-ra.Mean()) < 1e-9 &&
+			math.Abs(all.Variance()-ra.Variance()) < 1e-6 &&
+			all.Count() == ra.Count() &&
+			all.Min() == ra.Min() && all.Max() == ra.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningMergeWithEmpty(t *testing.T) {
+	var a, b Running
+	a.Add(3)
+	a.Merge(&b) // merging empty should not change a
+	if a.Count() != 1 || a.Mean() != 3 {
+		t.Error("merge with empty changed accumulator")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.Count() != 1 || b.Mean() != 3 {
+		t.Error("merge into empty did not copy")
+	}
+}
+
+func TestAddN(t *testing.T) {
+	var a, b Running
+	a.AddN(5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(5)
+	}
+	if a.Count() != b.Count() || a.Mean() != b.Mean() {
+		t.Error("AddN inconsistent with repeated Add")
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	var r Running
+	for i := 0; i < 10; i++ {
+		r.Add(float64(i))
+	}
+	ci := r.ConfidenceInterval95()
+	if ci <= 0 {
+		t.Errorf("CI should be positive, got %v", ci)
+	}
+	// CI should be t_(9) * sd/sqrt(10).
+	want := 2.262 * r.StdDev() / math.Sqrt(10)
+	if math.Abs(ci-want) > 1e-9 {
+		t.Errorf("CI = %v, want %v", ci, want)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if !math.IsNaN(tCritical95(0)) {
+		t.Error("df=0 should be NaN")
+	}
+	if tCritical95(1) != 12.706 {
+		t.Error("df=1 wrong")
+	}
+	if tCritical95(100) != 1.96 {
+		t.Error("large df should fall back to 1.96")
+	}
+}
+
+func TestSampleQuantile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if s.Len() != 100 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := s.Quantile(0.5); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("median = %v, want 50.5", got)
+	}
+	if got := s.Quantile(0.9); math.Abs(got-90.1) > 1e-9 {
+		t.Errorf("p90 = %v, want 90.1", got)
+	}
+	if math.Abs(s.Mean()-50.5) > 1e-9 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Len() != 0 {
+		t.Error("empty sample should return zeros")
+	}
+}
+
+func TestSampleQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := seed
+		var sm Sample
+		for i := 0; i < 50; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			sm.Add(float64(s>>11) / (1 << 53))
+		}
+		return sm.Quantile(0.25) <= sm.Quantile(0.5) &&
+			sm.Quantile(0.5) <= sm.Quantile(0.75) &&
+			sm.Quantile(0.75) <= sm.Quantile(0.99)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleValuesCopy(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	v := s.Values()
+	v[0] = 42
+	if s.Quantile(0) != 1 {
+		t.Error("Values should return a copy")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(15)
+	if h.Count() != 12 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Errorf("Under/Over = %d/%d", h.Under, h.Over)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bins[i] != 1 {
+			t.Errorf("bin %d = %d, want 1", i, h.Bins[i])
+		}
+		if math.Abs(h.Fraction(i)-0.1) > 1e-12 {
+			t.Errorf("Fraction(%d) = %v", i, h.Fraction(i))
+		}
+	}
+	if math.Abs(h.BinCenter(0)-0.5) > 1e-12 {
+		t.Errorf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(0, 100, 4)
+	h.Add(10)
+	h.Add(30)
+	if h.Mean() != 20 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	empty := NewHistogram(0, 1, 1)
+	if empty.Mean() != 0 {
+		t.Error("empty histogram mean should be 0")
+	}
+	if empty.Fraction(0) != 0 {
+		t.Error("empty histogram fraction should be 0")
+	}
+}
+
+func TestHistogramPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid params")
+		}
+	}()
+	NewHistogram(5, 1, 3)
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(0, 2)  // value 2 during [0, 10)
+	tw.Observe(10, 4) // value 4 during [10, 20)
+	tw.Finish(20)
+	if math.Abs(tw.Mean()-3) > 1e-12 {
+		t.Errorf("time-weighted mean = %v, want 3", tw.Mean())
+	}
+	if tw.Duration() != 20 {
+		t.Errorf("Duration = %v", tw.Duration())
+	}
+}
+
+func TestTimeWeightedEmpty(t *testing.T) {
+	var tw TimeWeighted
+	if tw.Mean() != 0 || tw.Duration() != 0 {
+		t.Error("empty TimeWeighted should be zero")
+	}
+	tw.Finish(5) // finishing before observing should be a no-op
+	if tw.Duration() != 0 {
+		t.Error("Finish before Observe should not accumulate")
+	}
+}
+
+func TestTimeWeightedOutOfOrderIgnored(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(10, 1)
+	tw.Observe(5, 99) // goes "backwards": no area accumulated, value replaced
+	tw.Finish(15)
+	if math.Abs(tw.Mean()-99) > 1e-12 {
+		t.Errorf("mean = %v, want 99 (only the final segment counts)", tw.Mean())
+	}
+}

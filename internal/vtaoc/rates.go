@@ -1,0 +1,128 @@
+package vtaoc
+
+import (
+	"errors"
+	"math"
+)
+
+// RatePlan captures the spreading-stage relations of the paper's Section 2.2
+// (equations 2, 4 and 5): how the overall processing gain, the supplemental
+// channel (SCH) bit rate and the required transmit power relate to the
+// spreading-gain ratio m and the VTAOC throughput bp.
+type RatePlan struct {
+	// BandwidthHz is the chip-rate bandwidth W of the wideband CDMA carrier.
+	BandwidthHz float64
+	// FCHSpreadingGain is the spreading-stage processing gain g_f of the
+	// fundamental channel.
+	FCHSpreadingGain float64
+	// FCHThroughput is the fixed throughput bp_f of the fundamental channel
+	// in bits/symbol.
+	FCHThroughput float64
+	// GammaS is the relative symbol energy-to-interference ratio γ_s between
+	// the SCH and the FCH needed to support their respective error targets;
+	// the paper notes it depends only on the target error levels, not on the
+	// channel, so it is a plan constant.
+	GammaS float64
+	// MaxSpreadingRatio is M, the largest allowed ratio of FCH to SCH
+	// spreading gain (the largest value of m_j the scheduler may assign).
+	MaxSpreadingRatio int
+}
+
+// DefaultRatePlan returns a cdma2000-like 3.75 MHz wideband carrier plan:
+// FCH at 9.6 kbps with spreading gain 256, SCH spreading-gain ratios up to
+// 16x, and γ_s = 1.25.
+func DefaultRatePlan() RatePlan {
+	return RatePlan{
+		BandwidthHz:       3_750_000,
+		FCHSpreadingGain:  256,
+		FCHThroughput:     0.25,
+		GammaS:            1.25,
+		MaxSpreadingRatio: 16,
+	}
+}
+
+// Validate reports whether the plan is usable.
+func (p RatePlan) Validate() error {
+	if p.BandwidthHz <= 0 || p.FCHSpreadingGain <= 0 || p.FCHThroughput <= 0 {
+		return errors.New("vtaoc: rate plan requires positive bandwidth, spreading gain and throughput")
+	}
+	if p.GammaS <= 0 {
+		return errors.New("vtaoc: rate plan requires positive GammaS")
+	}
+	if p.MaxSpreadingRatio < 1 {
+		return errors.New("vtaoc: rate plan requires MaxSpreadingRatio >= 1")
+	}
+	return nil
+}
+
+// FCHBitRate returns the fundamental channel bit rate R_f = W * bp_f / g_f
+// (equation 2 rearranged).
+func (p RatePlan) FCHBitRate() float64 {
+	return p.BandwidthHz * p.FCHThroughput / p.FCHSpreadingGain
+}
+
+// SCHBitRate returns the supplemental channel bit rate for spreading-gain
+// ratio m and VTAOC average throughput bp (equation 4):
+//
+//	R_s = m * (bp / bp_f) * R_f = W * m * bp / g_f.
+func (p RatePlan) SCHBitRate(m int, bp float64) float64 {
+	if m <= 0 || bp <= 0 {
+		return 0
+	}
+	return p.BandwidthHz * float64(m) * bp / p.FCHSpreadingGain
+}
+
+// RelativeBitRate returns δR_b = R_s / R_f = m * bp / bp_f (equation 4).
+func (p RatePlan) RelativeBitRate(m int, bp float64) float64 {
+	if m <= 0 || bp <= 0 {
+		return 0
+	}
+	return float64(m) * bp / p.FCHThroughput
+}
+
+// PowerRatio returns X_s / X_f, the ratio of the SCH transmit power to the
+// FCH transmit power for spreading-gain ratio m (equation 5): the SCH needs
+// γ_s times the FCH symbol energy and transmits m times faster, so
+//
+//	X_s / X_f = γ_s * m.
+func (p RatePlan) PowerRatio(m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return p.GammaS * float64(m)
+}
+
+// BurstDuration returns the time (seconds) needed to drain a burst of
+// sizeBits at spreading ratio m and average throughput bp; +Inf when the
+// assignment carries no data. This is the paper's Q_j / (m_j * bp_j) assigned
+// burst duration (Section 3.2) expressed in seconds through the bit rate.
+func (p RatePlan) BurstDuration(sizeBits float64, m int, bp float64) float64 {
+	r := p.SCHBitRate(m, bp)
+	if r <= 0 {
+		return math.Inf(1)
+	}
+	return sizeBits / r
+}
+
+// MaxUsefulRatio returns the largest spreading ratio worth assigning to a
+// burst of sizeBits given the minimum burst duration T_l (seconds): assigning
+// more than this would finish the burst in less than T_l and waste signalling
+// overhead (equation 24). The result is clamped to [0, MaxSpreadingRatio].
+func (p RatePlan) MaxUsefulRatio(sizeBits float64, bp float64, minDuration float64) int {
+	if bp <= 0 || sizeBits <= 0 {
+		return 0
+	}
+	if minDuration <= 0 {
+		return p.MaxSpreadingRatio
+	}
+	// Largest m with BurstDuration(sizeBits, m, bp) >= minDuration.
+	perRatioRate := p.BandwidthHz * bp / p.FCHSpreadingGain // bits/s at m = 1
+	m := int(sizeBits / (perRatioRate * minDuration))
+	if m < 0 {
+		m = 0
+	}
+	if m > p.MaxSpreadingRatio {
+		m = p.MaxSpreadingRatio
+	}
+	return m
+}

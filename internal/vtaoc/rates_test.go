@@ -1,0 +1,134 @@
+package vtaoc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultRatePlanValid(t *testing.T) {
+	p := DefaultRatePlan()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatePlanValidation(t *testing.T) {
+	bad := []RatePlan{
+		{BandwidthHz: 0, FCHSpreadingGain: 256, FCHThroughput: 0.25, GammaS: 1, MaxSpreadingRatio: 4},
+		{BandwidthHz: 1e6, FCHSpreadingGain: 0, FCHThroughput: 0.25, GammaS: 1, MaxSpreadingRatio: 4},
+		{BandwidthHz: 1e6, FCHSpreadingGain: 256, FCHThroughput: 0, GammaS: 1, MaxSpreadingRatio: 4},
+		{BandwidthHz: 1e6, FCHSpreadingGain: 256, FCHThroughput: 0.25, GammaS: 0, MaxSpreadingRatio: 4},
+		{BandwidthHz: 1e6, FCHSpreadingGain: 256, FCHThroughput: 0.25, GammaS: 1, MaxSpreadingRatio: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestFCHBitRate(t *testing.T) {
+	p := DefaultRatePlan()
+	// 3.75 MHz * 0.25 / 256 ≈ 3662 bps... the plan's FCH is a low-rate channel.
+	want := 3_750_000.0 * 0.25 / 256
+	if math.Abs(p.FCHBitRate()-want) > 1e-9 {
+		t.Errorf("FCHBitRate = %v, want %v", p.FCHBitRate(), want)
+	}
+}
+
+func TestSCHBitRateScaling(t *testing.T) {
+	p := DefaultRatePlan()
+	bp := 0.5
+	r1 := p.SCHBitRate(1, bp)
+	r4 := p.SCHBitRate(4, bp)
+	if math.Abs(r4-4*r1) > 1e-9 {
+		t.Errorf("SCH rate should scale linearly with m: %v vs 4*%v", r4, r1)
+	}
+	r2bp := p.SCHBitRate(2, 2*bp)
+	if math.Abs(r2bp-4*r1) > 1e-9 {
+		t.Errorf("SCH rate should scale linearly with bp")
+	}
+	if p.SCHBitRate(0, bp) != 0 || p.SCHBitRate(2, 0) != 0 {
+		t.Error("zero assignments should give zero rate")
+	}
+}
+
+func TestRelativeBitRate(t *testing.T) {
+	p := DefaultRatePlan()
+	// δRb = m * bp / bp_f; with m=4, bp=0.5, bp_f=0.25 => 8.
+	if got := p.RelativeBitRate(4, 0.5); math.Abs(got-8) > 1e-12 {
+		t.Errorf("RelativeBitRate = %v, want 8", got)
+	}
+	if p.RelativeBitRate(0, 0.5) != 0 {
+		t.Error("m=0 should give 0")
+	}
+	// Consistency with absolute rates.
+	if math.Abs(p.SCHBitRate(4, 0.5)/p.FCHBitRate()-p.RelativeBitRate(4, 0.5)) > 1e-9 {
+		t.Error("RelativeBitRate inconsistent with SCHBitRate/FCHBitRate")
+	}
+}
+
+func TestPowerRatio(t *testing.T) {
+	p := DefaultRatePlan()
+	if got := p.PowerRatio(4); math.Abs(got-5) > 1e-12 { // 1.25 * 4
+		t.Errorf("PowerRatio(4) = %v, want 5", got)
+	}
+	if p.PowerRatio(0) != 0 || p.PowerRatio(-1) != 0 {
+		t.Error("non-positive m should give 0 power")
+	}
+	// Power grows linearly with m (higher rate needs proportionally more power).
+	if p.PowerRatio(8) != 2*p.PowerRatio(4) {
+		t.Error("power should scale linearly with m")
+	}
+}
+
+func TestBurstDuration(t *testing.T) {
+	p := DefaultRatePlan()
+	bits := 100_000.0
+	d := p.BurstDuration(bits, 4, 0.5)
+	want := bits / p.SCHBitRate(4, 0.5)
+	if math.Abs(d-want) > 1e-9 {
+		t.Errorf("BurstDuration = %v, want %v", d, want)
+	}
+	if !math.IsInf(p.BurstDuration(bits, 0, 0.5), 1) {
+		t.Error("zero assignment should give infinite duration")
+	}
+	// Doubling the assignment halves the duration.
+	if math.Abs(p.BurstDuration(bits, 8, 0.5)-d/2) > 1e-9 {
+		t.Error("duration should halve when m doubles")
+	}
+}
+
+func TestMaxUsefulRatio(t *testing.T) {
+	p := DefaultRatePlan()
+	bp := 0.5
+	minDur := 0.1 // 100 ms minimum burst
+	m := p.MaxUsefulRatio(1_000_000, bp, minDur)
+	if m <= 0 || m > p.MaxSpreadingRatio {
+		t.Fatalf("MaxUsefulRatio = %d out of range", m)
+	}
+	// At the returned m the burst must last at least minDur; at m+1 (if it
+	// were allowed) it would be shorter than minDur (unless clamped at M).
+	if d := p.BurstDuration(1_000_000, m, bp); d < minDur-1e-9 {
+		t.Errorf("duration at MaxUsefulRatio = %v < min %v", d, minDur)
+	}
+	if m < p.MaxSpreadingRatio {
+		if d := p.BurstDuration(1_000_000, m+1, bp); d >= minDur {
+			t.Errorf("m+1 still satisfies the minimum duration; bound not tight")
+		}
+	}
+	// A huge burst is limited by M only.
+	if got := p.MaxUsefulRatio(1e12, bp, minDur); got != p.MaxSpreadingRatio {
+		t.Errorf("huge burst should allow M, got %d", got)
+	}
+	// A tiny burst is not worth a burst assignment at all.
+	if got := p.MaxUsefulRatio(10, bp, minDur); got != 0 {
+		t.Errorf("tiny burst should give 0, got %d", got)
+	}
+	if p.MaxUsefulRatio(0, bp, minDur) != 0 || p.MaxUsefulRatio(1000, 0, minDur) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+	if got := p.MaxUsefulRatio(1000, bp, 0); got != p.MaxSpreadingRatio {
+		t.Errorf("no minimum duration should allow M, got %d", got)
+	}
+}
