@@ -13,6 +13,7 @@ import (
 	"jabasd/internal/core"
 	"jabasd/internal/experiments"
 	"jabasd/internal/ilp"
+	"jabasd/internal/load"
 	"jabasd/internal/lp"
 	"jabasd/internal/measurement"
 	"jabasd/internal/rng"
@@ -245,7 +246,7 @@ func BenchmarkForwardRegion(b *testing.B) {
 	for j := 0; j < nd; j++ {
 		reqs[j] = measurement.ForwardRequest{
 			UserID:   j,
-			FCHPower: map[int]float64{j % 3: src.Uniform(0.1, 1), (j + 1) % 3: src.Uniform(0.1, 1)},
+			FCHPower: load.FromMap(map[int]float64{j % 3: src.Uniform(0.1, 1), (j + 1) % 3: src.Uniform(0.1, 1)}),
 			Alpha:    1,
 		}
 	}
@@ -307,14 +308,14 @@ func syntheticProblem(nd, cells int, seed uint64) core.Problem {
 		powers := map[int]float64{}
 		powers[src.Intn(cells)] = src.Uniform(0.1, 1)
 		powers[src.Intn(cells)] = src.Uniform(0.1, 1)
-		fwd[j] = measurement.ForwardRequest{UserID: j, FCHPower: powers, Alpha: 1}
+		fwd[j] = measurement.ForwardRequest{UserID: j, FCHPower: load.FromMap(powers), Alpha: 1}
 	}
-	load := make([]float64, cells)
-	for k := range load {
-		load[k] = src.Uniform(5, 15)
+	cellLoad := make([]float64, cells)
+	for k := range cellLoad {
+		cellLoad[k] = src.Uniform(5, 15)
 	}
 	region, err := measurement.ForwardRegion(measurement.ForwardState{
-		CurrentLoad: load, MaxLoad: 20, GammaS: 1.25,
+		CurrentLoad: cellLoad, MaxLoad: 20, GammaS: 1.25,
 	}, fwd)
 	if err != nil {
 		panic(err)

@@ -1,13 +1,21 @@
 // Command jabaexp regenerates the experiment suite E1-E10 described in
-// DESIGN.md / EXPERIMENTS.md and prints every results table. With -out it
-// also writes one CSV file per experiment into the given directory.
+// DESIGN.md / EXPERIMENTS.md and prints every results table. The suite is
+// read from the experiments registry (the same one experiments.All runs), so
+// the tool and the library can never disagree about what E<n> means. One
+// consequence of that unification: the analytic E3/E4 instance counts now
+// follow the selected scale (15 at quick, 60 at full) like the library
+// always did, instead of the fixed 40 earlier versions of this tool used.
+// With -out it also writes one CSV file per experiment into the given
+// directory.
 //
 // Usage:
 //
 //	jabaexp                 # quick scale, all experiments, ASCII tables
 //	jabaexp -scale full     # the scale used for the numbers in EXPERIMENTS.md
-//	jabaexp -only E1,E3     # subset
+//	jabaexp -only E1,E3     # subset (unknown ids are rejected)
 //	jabaexp -out results/   # additionally write CSV files
+//	jabaexp -parallel 4     # bound the number of concurrently running experiments
+//	jabaexp -list           # list the registered experiments and exit
 package main
 
 import (
@@ -34,9 +42,22 @@ func run(args []string) error {
 		scaleName = fs.String("scale", "quick", "experiment scale: quick or full")
 		only      = fs.String("only", "", "comma separated experiment ids to run (e.g. E1,E5); empty = all")
 		outDir    = fs.String("out", "", "directory to write CSV results into (optional)")
+		parallel  = fs.Int("parallel", 0, "max experiments running concurrently (0 = GOMAXPROCS)")
+		list      = fs.Bool("list", false, "list the registered experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *list {
+		for _, d := range experiments.Registry() {
+			kind := "dynamic"
+			if d.Analytic {
+				kind = "analytic"
+			}
+			fmt.Printf("%-4s %-9s %s\n", d.ID, kind, d.Title)
+		}
+		return nil
 	}
 
 	var scale experiments.Scale
@@ -49,28 +70,9 @@ func run(args []string) error {
 		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleName)
 	}
 
-	wanted := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
-		}
-	}
-
-	type expDef struct {
-		id  string
-		run func() (*report.Table, error)
-	}
-	defs := []expDef{
-		{"E1", experiments.E1AdaptivePhyThroughput},
-		{"E2", func() (*report.Table, error) { return experiments.E2ModeOccupancy(15, 200_000) }},
-		{"E3", func() (*report.Table, error) { return experiments.E3ForwardAdmission(40) }},
-		{"E4", func() (*report.Table, error) { return experiments.E4ReverseAdmission(40) }},
-		{"E5", func() (*report.Table, error) { return experiments.E5DelayVsLoad(scale) }},
-		{"E6", func() (*report.Table, error) { return experiments.E6UserCapacity(scale, 2) }},
-		{"E7", func() (*report.Table, error) { return experiments.E7Coverage(scale) }},
-		{"E8", func() (*report.Table, error) { return experiments.E8JointDesignAblation(scale) }},
-		{"E9", func() (*report.Table, error) { return experiments.E9ObjectiveTradeoff(scale) }},
-		{"E10", func() (*report.Table, error) { return experiments.E10MacStates(scale) }},
+	defs, err := selectExperiments(*only)
+	if err != nil {
+		return err
 	}
 
 	if *outDir != "" {
@@ -79,33 +81,60 @@ func run(args []string) error {
 		}
 	}
 
-	for _, d := range defs {
-		if len(wanted) > 0 && !wanted[d.id] {
-			continue
-		}
-		tbl, err := d.run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", d.id, err)
-		}
+	// Stream the tables in suite order as they complete, so a failure late in
+	// a long run still leaves every earlier table printed and its CSV written.
+	return experiments.StreamExperiments(defs, scale, *parallel, func(i int, tbl *report.Table) error {
 		fmt.Printf("\n")
 		if err := tbl.WriteASCII(os.Stdout); err != nil {
 			return err
 		}
-		if *outDir != "" {
-			path := filepath.Join(*outDir, strings.ToLower(d.id)+".csv")
-			f, err := os.Create(path)
-			if err != nil {
-				return err
-			}
-			if err := tbl.WriteCSV(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Printf("(written to %s)\n", path)
+		if *outDir == "" {
+			return nil
+		}
+		path := filepath.Join(*outDir, strings.ToLower(defs[i].ID)+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tbl.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("(written to %s)\n", path)
+		return nil
+	})
+}
+
+// selectExperiments resolves the -only flag against the registry, keeping
+// suite order. Unknown ids are an error, not a silent no-op.
+func selectExperiments(only string) ([]experiments.Experiment, error) {
+	if only == "" {
+		return experiments.Registry(), nil
+	}
+	wanted := map[string]bool{}
+	for _, raw := range strings.Split(only, ",") {
+		id := strings.ToUpper(strings.TrimSpace(raw))
+		if id == "" {
+			continue
+		}
+		if _, ok := experiments.ByID(id); !ok {
+			return nil, fmt.Errorf("unknown experiment id %q (valid ids: %s)",
+				raw, strings.Join(experiments.IDs(), ", "))
+		}
+		wanted[id] = true
+	}
+	if len(wanted) == 0 {
+		return nil, fmt.Errorf("-only selected no experiments (valid ids: %s)",
+			strings.Join(experiments.IDs(), ", "))
+	}
+	var defs []experiments.Experiment
+	for _, d := range experiments.Registry() {
+		if wanted[d.ID] {
+			defs = append(defs, d)
 		}
 	}
-	return nil
+	return defs, nil
 }

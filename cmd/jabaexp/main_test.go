@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -36,6 +37,31 @@ func TestRunBadFlag(t *testing.T) {
 
 func TestRunLowercaseIDsAccepted(t *testing.T) {
 	if err := run([]string{"-only", "e1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperimentIDRejected(t *testing.T) {
+	for _, only := range []string{"E99", "e1x", "E1,nope", ","} {
+		err := run([]string{"-only", only})
+		if err == nil {
+			t.Errorf("-only %s should fail instead of silently running nothing", only)
+			continue
+		}
+		if !strings.Contains(err.Error(), "E1, E2") {
+			t.Errorf("-only %s error should list the valid ids, got: %v", only, err)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplicitParallelBound(t *testing.T) {
+	if err := run([]string{"-only", "E1,E2", "-parallel", "2"}); err != nil {
 		t.Fatal(err)
 	}
 }

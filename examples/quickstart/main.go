@@ -12,6 +12,7 @@ import (
 	"log"
 
 	"jabasd/internal/core"
+	"jabasd/internal/load"
 	"jabasd/internal/measurement"
 	"jabasd/internal/vtaoc"
 )
@@ -43,7 +44,7 @@ func main() {
 		// user's fundamental channel needs at the (single) serving cell.
 		fwd[j] = measurement.ForwardRequest{
 			UserID:   j,
-			FCHPower: map[int]float64{0: 0.3 + 0.4*float64(j)},
+			FCHPower: load.FromMap(map[int]float64{0: 0.3 + 0.4*float64(j)}),
 			Alpha:    1,
 		}
 	}

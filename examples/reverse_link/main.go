@@ -13,6 +13,7 @@ import (
 	"log"
 
 	"jabasd/internal/core"
+	"jabasd/internal/load"
 	"jabasd/internal/measurement"
 	"jabasd/internal/sim"
 )
@@ -35,16 +36,16 @@ func main() {
 		{
 			UserID:       0,
 			HostCell:     0,
-			ReversePilot: map[int]float64{0: 0.015, 1: 0.009},
-			SCRM:         measurement.NewSCRM(map[int]float64{0: 0.06, 1: 0.04, 2: 0.01}),
+			ReversePilot: load.FromMap(map[int]float64{0: 0.015, 1: 0.009}),
+			SCRM:         measurement.NewSCRM(load.FromMap(map[int]float64{0: 0.06, 1: 0.04, 2: 0.01})),
 			Zeta:         4,
 			Alpha:        1,
 		},
 		{
 			UserID:       1,
 			HostCell:     1,
-			ReversePilot: map[int]float64{1: 0.02},
-			SCRM:         measurement.NewSCRM(map[int]float64{1: 0.07, 2: 0.05}),
+			ReversePilot: load.FromMap(map[int]float64{1: 0.02}),
+			SCRM:         measurement.NewSCRM(load.FromMap(map[int]float64{1: 0.07, 2: 0.05})),
 			Zeta:         4,
 			Alpha:        1,
 		},

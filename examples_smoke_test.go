@@ -1,0 +1,26 @@
+package jabasd_bench
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesBuild keeps the runnable examples from rotting: they are main
+// packages nobody imports, so a plain `go test ./...` would never notice a
+// compile error in them if `go build ./...` is skipped. Building multiple
+// main packages at once makes the go tool discard the binaries, so this
+// writes no artifacts.
+func TestExamplesBuild(t *testing.T) {
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	out, err := exec.Command(gobin, "build", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("examples failed to build: %v\n%s", err, out)
+	}
+	out, err = exec.Command(gobin, "vet", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet ./examples/... failed: %v\n%s", err, out)
+	}
+}

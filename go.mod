@@ -1,0 +1,3 @@
+module jabasd
+
+go 1.24

@@ -10,7 +10,6 @@ package cellular
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Point is a position in metres on the simulation plane.
@@ -158,23 +157,36 @@ type PilotMeasurement struct {
 // the common cell transmit power and noise the thermal noise power at the
 // mobile. The result is sorted by decreasing Ec/Io.
 func PilotSet(gains []float64, pilotFraction, txPower, noise float64) []PilotMeasurement {
+	return PilotSetInto(make([]PilotMeasurement, 0, len(gains)), gains, pilotFraction, txPower, noise)
+}
+
+// PilotSetInto is PilotSet writing into dst (reused, resliced to length
+// zero), so a caller that keeps a per-mobile buffer pays no allocation per
+// frame. The sort is an insertion sort: the set is small and nearly sorted
+// from one frame to the next, and it avoids sort.Slice's reflection-based
+// swapper showing up in the frame loop.
+func PilotSetInto(dst []PilotMeasurement, gains []float64, pilotFraction, txPower, noise float64) []PilotMeasurement {
 	total := noise
 	for _, g := range gains {
 		total += txPower * g
 	}
-	out := make([]PilotMeasurement, len(gains))
+	dst = dst[:0]
 	for k, g := range gains {
 		ec := pilotFraction * txPower * g
 		ecio := ec / total
-		out[k] = PilotMeasurement{
+		dst = append(dst, PilotMeasurement{
 			Cell:   k,
 			EcIo:   ecio,
 			EcIoDB: 10 * math.Log10(math.Max(ecio, 1e-30)),
 			GainDB: 10 * math.Log10(math.Max(g, 1e-30)),
+		})
+	}
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j-1].EcIo < dst[j].EcIo; j-- {
+			dst[j-1], dst[j] = dst[j], dst[j-1]
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].EcIo > out[j].EcIo })
-	return out
+	return dst
 }
 
 // ActiveSet returns the cells whose pilot is within addThresholdDB of the
@@ -184,20 +196,29 @@ func ActiveSet(pilots []PilotMeasurement, addThresholdDB, minEcIoDB float64, max
 	if len(pilots) == 0 || maxSize <= 0 {
 		return nil
 	}
+	return ActiveSetInto([]int{}, pilots, addThresholdDB, minEcIoDB, maxSize)
+}
+
+// ActiveSetInto is ActiveSet writing into dst (reused, resliced to length
+// zero).
+func ActiveSetInto(dst []int, pilots []PilotMeasurement, addThresholdDB, minEcIoDB float64, maxSize int) []int {
+	dst = dst[:0]
+	if len(pilots) == 0 || maxSize <= 0 {
+		return dst
+	}
 	best := pilots[0].EcIoDB
-	out := []int{}
 	for _, p := range pilots {
-		if len(out) >= maxSize {
+		if len(dst) >= maxSize {
 			break
 		}
 		if p.EcIoDB < minEcIoDB {
 			continue
 		}
 		if best-p.EcIoDB <= addThresholdDB {
-			out = append(out, p.Cell)
+			dst = append(dst, p.Cell)
 		}
 	}
-	return out
+	return dst
 }
 
 // ReducedActiveSet returns the reduced active set used for the high-speed
@@ -207,18 +228,24 @@ func ReducedActiveSet(pilots []PilotMeasurement, activeSet []int) []int {
 	if len(activeSet) == 0 {
 		return nil
 	}
-	inActive := make(map[int]bool, len(activeSet))
-	for _, c := range activeSet {
-		inActive[c] = true
-	}
-	out := []int{}
+	return ReducedActiveSetInto([]int{}, pilots, activeSet)
+}
+
+// ReducedActiveSetInto is ReducedActiveSet writing into dst (reused,
+// resliced to length zero). The active set is at most a handful of cells, so
+// membership is a linear scan rather than a per-frame map.
+func ReducedActiveSetInto(dst []int, pilots []PilotMeasurement, activeSet []int) []int {
+	dst = dst[:0]
 	for _, p := range pilots { // pilots already sorted by strength
-		if inActive[p.Cell] {
-			out = append(out, p.Cell)
-			if len(out) == 2 {
+		for _, c := range activeSet {
+			if c == p.Cell {
+				dst = append(dst, p.Cell)
 				break
 			}
 		}
+		if len(dst) == 2 {
+			break
+		}
 	}
-	return out
+	return dst
 }

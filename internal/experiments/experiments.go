@@ -13,6 +13,7 @@ import (
 
 	"jabasd/internal/core"
 	"jabasd/internal/ilp"
+	"jabasd/internal/load"
 	"jabasd/internal/mathx"
 	"jabasd/internal/measurement"
 	"jabasd/internal/report"
@@ -208,7 +209,7 @@ func randomForwardProblem(src *rng.Source, nd, maxRatio int) (core.Problem, erro
 		}
 		fwd[j] = measurement.ForwardRequest{
 			UserID:   j,
-			FCHPower: map[int]float64{0: src.Uniform(0.1, 1.0)},
+			FCHPower: load.FromMap(map[int]float64{0: src.Uniform(0.1, 1.0)}),
 			Alpha:    1,
 		}
 	}
@@ -337,11 +338,11 @@ func randomReverseProblem(src *rng.Source, nd int) (core.Problem, error) {
 		rev[j] = measurement.ReverseRequest{
 			UserID:       j,
 			HostCell:     host,
-			ReversePilot: map[int]float64{host: src.Uniform(0.001, 0.02)},
-			SCRM: measurement.NewSCRM(map[int]float64{
+			ReversePilot: load.FromMap(map[int]float64{host: src.Uniform(0.001, 0.02)}),
+			SCRM: measurement.NewSCRM(load.FromMap(map[int]float64{
 				host:      src.Uniform(0.02, 0.1),
 				neighbour: src.Uniform(0.001, 0.05),
-			}),
+			})),
 			Zeta:  4,
 			Alpha: 1,
 		}
@@ -534,33 +535,6 @@ func E10MacStates(s Scale) (*report.Table, error) {
 		t.AddRow(d2, agg.MeanDelay.Mean(), agg.AdmissionWait.Mean())
 	}
 	return t, nil
-}
-
-// All runs every experiment at the given scale and returns the tables in
-// order. Analytic experiments (E1-E4) are scale independent.
-func All(s Scale) ([]*report.Table, error) {
-	type gen func() (*report.Table, error)
-	gens := []gen{
-		E1AdaptivePhyThroughput,
-		func() (*report.Table, error) { return E2ModeOccupancy(15, 200_000) },
-		func() (*report.Table, error) { return E3ForwardAdmission(scaleInstances(s)) },
-		func() (*report.Table, error) { return E4ReverseAdmission(scaleInstances(s)) },
-		func() (*report.Table, error) { return E5DelayVsLoad(s) },
-		func() (*report.Table, error) { return E6UserCapacity(s, 2) },
-		func() (*report.Table, error) { return E7Coverage(s) },
-		func() (*report.Table, error) { return E8JointDesignAblation(s) },
-		func() (*report.Table, error) { return E9ObjectiveTradeoff(s) },
-		func() (*report.Table, error) { return E10MacStates(s) },
-	}
-	out := make([]*report.Table, 0, len(gens))
-	for i, g := range gens {
-		tbl, err := g()
-		if err != nil {
-			return nil, fmt.Errorf("experiment %d failed: %w", i+1, err)
-		}
-		out = append(out, tbl)
-	}
-	return out, nil
 }
 
 func scaleInstances(s Scale) int {

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"jabasd/internal/report"
+)
+
+// Experiment is one entry of the registered suite: a stable id, the
+// paper-facing title, and the generator that produces its results table at a
+// given scale. Every generator is deterministic — the seeds are fixed inside
+// (experiment-local rng sources, sim.Config.Seed per replication) — so the
+// tables are identical no matter how many experiments run concurrently.
+type Experiment struct {
+	// ID is the stable identifier (E1..E10) used by cmd/jabaexp -only.
+	ID string
+	// Title summarises what the experiment reproduces.
+	Title string
+	// Analytic experiments compute their tables without the dynamic
+	// simulator; their output is independent of the scale's simulated time
+	// and replication count.
+	Analytic bool
+	// Run produces the results table.
+	Run func(Scale) (*report.Table, error)
+}
+
+// Registry returns the ordered experiment suite E1-E10. It is the single
+// source of truth consumed by both All and cmd/jabaexp, so the two can never
+// drift apart.
+func Registry() []Experiment {
+	return []Experiment{
+		{
+			ID: "E1", Title: "adaptive physical layer throughput vs mean CSI", Analytic: true,
+			Run: func(Scale) (*report.Table, error) { return E1AdaptivePhyThroughput() },
+		},
+		{
+			ID: "E2", Title: "VTAOC mode occupancy over a fading trace", Analytic: true,
+			Run: func(Scale) (*report.Table, error) { return E2ModeOccupancy(15, 200_000) },
+		},
+		{
+			ID: "E3", Title: "forward-link admission optimality vs exhaustive optimum", Analytic: true,
+			Run: func(s Scale) (*report.Table, error) { return E3ForwardAdmission(scaleInstances(s)) },
+		},
+		{
+			ID: "E4", Title: "reverse-link admission with SCRM neighbour protection", Analytic: true,
+			Run: func(s Scale) (*report.Table, error) { return E4ReverseAdmission(scaleInstances(s)) },
+		},
+		{
+			ID: "E5", Title: "average burst delay vs offered load",
+			Run: func(s Scale) (*report.Table, error) { return E5DelayVsLoad(s) },
+		},
+		{
+			ID: "E6", Title: "data user capacity at a delay target",
+			Run: func(s Scale) (*report.Table, error) { return E6UserCapacity(s, 2) },
+		},
+		{
+			ID: "E7", Title: "coverage vs shadowing severity",
+			Run: func(s Scale) (*report.Table, error) { return E7Coverage(s) },
+		},
+		{
+			ID: "E8", Title: "joint design ablation (adaptive PHY x scheduler)",
+			Run: func(s Scale) (*report.Table, error) { return E8JointDesignAblation(s) },
+		},
+		{
+			ID: "E9", Title: "objective J1 vs J2 trade-off",
+			Run: func(s Scale) (*report.Table, error) { return E9ObjectiveTradeoff(s) },
+		},
+		{
+			ID: "E10", Title: "MAC state set-up penalty effect",
+			Run: func(s Scale) (*report.Table, error) { return E10MacStates(s) },
+		},
+	}
+}
+
+// IDs returns the registered experiment ids in suite order.
+func IDs() []string {
+	defs := Registry()
+	out := make([]string, len(defs))
+	for i, d := range defs {
+		out[i] = d.ID
+	}
+	return out
+}
+
+// ByID looks up an experiment by id, case-insensitively.
+func ByID(id string) (Experiment, bool) {
+	want := strings.ToUpper(strings.TrimSpace(id))
+	for _, d := range Registry() {
+		if d.ID == want {
+			return d, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// All runs every registered experiment at the given scale — concurrently,
+// bounded by GOMAXPROCS — and returns the tables in registry order. Because
+// every generator carries its own deterministic seeds, the output is
+// identical to running the suite sequentially.
+func All(s Scale) ([]*report.Table, error) {
+	return RunExperiments(Registry(), s, 0)
+}
+
+// RunExperiments runs the given experiments with at most parallel of them in
+// flight at once (<= 0 means GOMAXPROCS) and returns their tables in input
+// order. The first failure (in input order) is reported after all in-flight
+// work drains.
+func RunExperiments(defs []Experiment, s Scale, parallel int) ([]*report.Table, error) {
+	out := make([]*report.Table, 0, len(defs))
+	err := StreamExperiments(defs, s, parallel, func(_ int, tbl *report.Table) error {
+		out = append(out, tbl)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StreamExperiments runs the given experiments concurrently (bounded by
+// parallel; <= 0 means GOMAXPROCS) and invokes emit in input order as soon
+// as each experiment and all of its predecessors have finished. A caller
+// that prints or persists results in emit therefore keeps everything that
+// completed before a failure — important for full-scale runs where a late
+// experiment dying should not discard half an hour of earlier tables. The
+// first error in input order is returned after the in-flight experiments
+// drain; emit is called for every experiment preceding the failure.
+func StreamExperiments(defs []Experiment, s Scale, parallel int, emit func(i int, tbl *report.Table) error) error {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	type result struct {
+		tbl *report.Table
+		err error
+	}
+	results := make([]result, len(defs))
+	done := make([]chan struct{}, len(defs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, parallel)
+	stop := make(chan struct{}) // closed on failure: queued experiments skip running
+	for i, d := range defs {
+		go func(i int, d Experiment) {
+			defer close(done[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			select {
+			case <-stop:
+				return // a predecessor already failed; this result would be discarded
+			default:
+			}
+			tbl, err := d.Run(s)
+			results[i] = result{tbl: tbl, err: err}
+		}(i, d)
+	}
+	// drainFrom is called at most once, right before returning an error: it
+	// tells queued experiments not to start and waits out the in-flight ones.
+	drainFrom := func(j int) {
+		close(stop)
+		for ; j < len(defs); j++ {
+			<-done[j]
+		}
+	}
+	for i := range defs {
+		<-done[i]
+		if results[i].err != nil {
+			drainFrom(i + 1)
+			return fmt.Errorf("experiment %s failed: %w", defs[i].ID, results[i].err)
+		}
+		if err := emit(i, results[i].tbl); err != nil {
+			drainFrom(i + 1)
+			return err
+		}
+	}
+	return nil
+}

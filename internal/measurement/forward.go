@@ -6,11 +6,16 @@
 //	reverse link:  B·m <= l   (interference limited, equations 9-18)
 //
 // that the scheduling sub-layer (package core) optimises over.
+//
+// Per-request cell-indexed quantities (FCH powers, pilot reports) travel as
+// slice-backed load.Vec values rather than maps, so the simulator can hand
+// its per-user ledgers straight to the region builders without copying.
 package measurement
 
 import (
 	"errors"
-	"sort"
+
+	"jabasd/internal/load"
 )
 
 // ErrBadInput is returned when the measurement inputs are inconsistent.
@@ -22,10 +27,10 @@ var ErrBadInput = errors.New("measurement: inconsistent inputs")
 // active set adjustment factor α_j^{FL}.
 type ForwardRequest struct {
 	UserID int
-	// FCHPower maps cell index -> P_{j,k}, the base-station transmit power
+	// FCHPower holds cell -> P_{j,k}, the base-station transmit power
 	// currently required by this user's fundamental channel. Cells outside
 	// the reduced active set must be absent (P_{j,k} = 0).
-	FCHPower map[int]float64
+	FCHPower load.Vec
 	// Alpha is the adjustment factor α_j^{FL} accounting for the reduced
 	// active set (1.0 when the user is served by a single cell).
 	Alpha float64
@@ -43,91 +48,54 @@ type ForwardState struct {
 	GammaS float64
 }
 
-// Region is a linear admissible region  Coeff·m <= Bound  over the integer
-// assignment vector m (one entry per request, in the order the requests were
-// supplied). Rows with no involvement from any request are omitted.
-type Region struct {
-	Coeff [][]float64 // one row per binding resource (cell)
-	Bound []float64
-	Cells []int // which cell produced each row (useful for reporting)
-}
-
-// NumConstraints returns the number of rows in the region.
-func (r Region) NumConstraints() int { return len(r.Coeff) }
-
-// Feasible reports whether the integer assignment m satisfies the region.
-func (r Region) Feasible(m []int) bool {
-	for i, row := range r.Coeff {
-		lhs := 0.0
-		for j, a := range row {
-			if j < len(m) {
-				lhs += a * float64(m[j])
-			}
-		}
-		if lhs > r.Bound[i]+1e-9 {
-			return false
-		}
-	}
-	return true
-}
-
-// Headroom returns, for each row, the remaining budget Bound - Coeff·m.
-func (r Region) Headroom(m []int) []float64 {
-	out := make([]float64, len(r.Coeff))
-	for i, row := range r.Coeff {
-		lhs := 0.0
-		for j, a := range row {
-			if j < len(m) {
-				lhs += a * float64(m[j])
-			}
-		}
-		out[i] = r.Bound[i] - lhs
-	}
-	return out
-}
-
-// ForwardRegion builds the forward-link admissible region of equation (7):
-// for every cell k involved in at least one request's reduced active set,
+// Forward builds the forward-link admissible region of equation (7) into the
+// builder's reusable buffers: for every cell k involved in at least one
+// request's reduced active set,
 //
 //	γ_s Σ_j m_j P_{j,k} α_j^{FL}  <=  P_max − P̄_k.
 //
 // Cells whose existing load already exceeds P_max produce a row with a
 // negative bound, which correctly forces m_j = 0 for every request that
-// involves them.
-func ForwardRegion(state ForwardState, requests []ForwardRequest) (Region, error) {
+// involves them. The returned Region aliases the builder's storage and is
+// valid until the next build.
+func (b *RegionBuilder) Forward(state ForwardState, requests []ForwardRequest) (Region, error) {
 	if state.MaxLoad <= 0 || state.GammaS <= 0 {
 		return Region{}, ErrBadInput
 	}
-	n := len(requests)
-	// Collect the set of cells that appear in any request.
-	cellSet := map[int]bool{}
+	nCells := len(state.CurrentLoad)
+	b.begin(nCells)
+
+	// Pass 1: validate and collect the set of cells any request involves.
 	for _, r := range requests {
 		if r.Alpha <= 0 {
 			return Region{}, ErrBadInput
 		}
-		for k, p := range r.FCHPower {
-			if k < 0 || k >= len(state.CurrentLoad) || p < 0 {
+		for i := 0; i < r.FCHPower.Len(); i++ {
+			k, p := r.FCHPower.At(i)
+			if k < 0 || k >= nCells || p < 0 {
 				return Region{}, ErrBadInput
 			}
-			cellSet[k] = true
+			b.touch(k)
 		}
 	}
-	cells := make([]int, 0, len(cellSet))
-	for k := range cellSet {
-		cells = append(cells, k)
-	}
-	sort.Ints(cells)
+	b.finishCells(len(requests))
 
-	region := Region{Cells: cells}
-	for _, k := range cells {
-		row := make([]float64, n)
-		for j, r := range requests {
-			if p, ok := r.FCHPower[k]; ok {
-				row[j] = state.GammaS * p * r.Alpha // a_{jk} of eq. (8)
-			}
+	// Pass 2: fill the a_{jk} coefficients of equation (8) and the bounds.
+	for j, r := range requests {
+		for i := 0; i < r.FCHPower.Len(); i++ {
+			k, p := r.FCHPower.At(i)
+			b.row(k)[j] = state.GammaS * p * r.Alpha
 		}
-		region.Coeff = append(region.Coeff, row)
-		region.Bound = append(region.Bound, state.MaxLoad-state.CurrentLoad[k])
 	}
-	return region, nil
+	for i, k := range b.cells {
+		b.bounds[i] = state.MaxLoad - state.CurrentLoad[k]
+	}
+	return b.region(), nil
+}
+
+// ForwardRegion builds the forward-link admissible region on a fresh
+// builder; unlike RegionBuilder.Forward the result owns its storage.
+func ForwardRegion(state ForwardState, requests []ForwardRequest) (Region, error) {
+	var b RegionBuilder
+	return b.Forward(state, requests)
 }

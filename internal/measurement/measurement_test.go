@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"jabasd/internal/load"
 )
 
 func TestForwardRegionSingleCell(t *testing.T) {
@@ -13,8 +15,8 @@ func TestForwardRegionSingleCell(t *testing.T) {
 		GammaS:      1.25,
 	}
 	reqs := []ForwardRequest{
-		{UserID: 1, FCHPower: map[int]float64{0: 0.5}, Alpha: 1},
-		{UserID: 2, FCHPower: map[int]float64{0: 1.0}, Alpha: 1.2},
+		{UserID: 1, FCHPower: load.FromMap(map[int]float64{0: 0.5}), Alpha: 1},
+		{UserID: 2, FCHPower: load.FromMap(map[int]float64{0: 1.0}), Alpha: 1.2},
 	}
 	region, err := ForwardRegion(state, reqs)
 	if err != nil {
@@ -42,7 +44,7 @@ func TestForwardRegionSoftHandoffTwoCells(t *testing.T) {
 	// A user in soft hand-off consumes power in both reduced-active-set cells.
 	state := ForwardState{CurrentLoad: []float64{5, 15}, MaxLoad: 20, GammaS: 1}
 	reqs := []ForwardRequest{
-		{UserID: 1, FCHPower: map[int]float64{0: 1, 1: 2}, Alpha: 1},
+		{UserID: 1, FCHPower: load.FromMap(map[int]float64{0: 1, 1: 2}), Alpha: 1},
 	}
 	region, err := ForwardRegion(state, reqs)
 	if err != nil {
@@ -66,7 +68,7 @@ func TestForwardRegionSoftHandoffTwoCells(t *testing.T) {
 
 func TestForwardRegionOverloadedCell(t *testing.T) {
 	state := ForwardState{CurrentLoad: []float64{25}, MaxLoad: 20, GammaS: 1}
-	reqs := []ForwardRequest{{UserID: 1, FCHPower: map[int]float64{0: 1}, Alpha: 1}}
+	reqs := []ForwardRequest{{UserID: 1, FCHPower: load.FromMap(map[int]float64{0: 1}), Alpha: 1}}
 	region, err := ForwardRegion(state, reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -93,10 +95,10 @@ func TestForwardRegionValidation(t *testing.T) {
 	}{
 		{ForwardState{CurrentLoad: []float64{1}, MaxLoad: 0, GammaS: 1}, nil},
 		{ForwardState{CurrentLoad: []float64{1}, MaxLoad: 10, GammaS: 0}, nil},
-		{good, []ForwardRequest{{FCHPower: map[int]float64{0: 1}, Alpha: 0}}},
-		{good, []ForwardRequest{{FCHPower: map[int]float64{5: 1}, Alpha: 1}}},
-		{good, []ForwardRequest{{FCHPower: map[int]float64{-1: 1}, Alpha: 1}}},
-		{good, []ForwardRequest{{FCHPower: map[int]float64{0: -2}, Alpha: 1}}},
+		{good, []ForwardRequest{{FCHPower: load.FromMap(map[int]float64{0: 1}), Alpha: 0}}},
+		{good, []ForwardRequest{{FCHPower: load.FromMap(map[int]float64{5: 1}), Alpha: 1}}},
+		{good, []ForwardRequest{{FCHPower: load.FromMap(map[int]float64{-1: 1}), Alpha: 1}}},
+		{good, []ForwardRequest{{FCHPower: load.FromMap(map[int]float64{0: -2}), Alpha: 1}}},
 	}
 	for i, c := range cases {
 		if _, err := ForwardRegion(c.state, c.reqs); err == nil {
@@ -124,30 +126,30 @@ func TestSCRMCapsAtEight(t *testing.T) {
 	for i := 0; i < 15; i++ {
 		pilots[i] = float64(i + 1) // cell 14 strongest
 	}
-	s := NewSCRM(pilots)
-	if len(s.Pilots) != SCRMMaxPilots {
-		t.Fatalf("SCRM carries %d pilots, want %d", len(s.Pilots), SCRMMaxPilots)
+	s := NewSCRM(load.FromMap(pilots))
+	if s.Pilots.Len() != SCRMMaxPilots {
+		t.Fatalf("SCRM carries %d pilots, want %d", s.Pilots.Len(), SCRMMaxPilots)
 	}
 	// It must keep the strongest eight: cells 7..14.
 	for c := 7; c <= 14; c++ {
-		if _, ok := s.Pilots[c]; !ok {
+		if _, ok := s.Pilots.Get(c); !ok {
 			t.Errorf("strong pilot for cell %d dropped", c)
 		}
 	}
 	for c := 0; c <= 6; c++ {
-		if _, ok := s.Pilots[c]; ok {
+		if _, ok := s.Pilots.Get(c); ok {
 			t.Errorf("weak pilot for cell %d kept", c)
 		}
 	}
 	// Small reports are kept as-is (copied).
-	small := map[int]float64{1: 0.1, 2: 0.2}
+	small := load.FromMap(map[int]float64{1: 0.1, 2: 0.2})
 	s2 := NewSCRM(small)
-	if len(s2.Pilots) != 2 {
+	if s2.Pilots.Len() != 2 {
 		t.Error("small SCRM should keep all pilots")
 	}
-	small[1] = 99
-	if s2.Pilots[1] == 99 {
-		t.Error("SCRM should copy the pilot map")
+	small.Set(1, 99)
+	if v, _ := s2.Pilots.Get(1); v == 99 {
+		t.Error("SCRM should copy the pilot report")
 	}
 }
 
@@ -165,8 +167,8 @@ func TestReverseRegionSoftHandoffCoefficients(t *testing.T) {
 	req := ReverseRequest{
 		UserID:       1,
 		HostCell:     0,
-		ReversePilot: map[int]float64{0: 0.02, 1: 0.01},
-		SCRM:         NewSCRM(map[int]float64{0: 0.05, 1: 0.03}),
+		ReversePilot: load.FromMap(map[int]float64{0: 0.02, 1: 0.01}),
+		SCRM:         NewSCRM(load.FromMap(map[int]float64{0: 0.05, 1: 0.03})),
 		Zeta:         4,
 		Alpha:        1,
 	}
@@ -197,9 +199,9 @@ func TestReverseRegionNeighbourProjection(t *testing.T) {
 	req := ReverseRequest{
 		UserID:       1,
 		HostCell:     0,
-		ReversePilot: map[int]float64{0: 0.02},
+		ReversePilot: load.FromMap(map[int]float64{0: 0.02}),
 		// Forward pilots: host 0.05, neighbour cell 2 at 0.01.
-		SCRM:  NewSCRM(map[int]float64{0: 0.05, 2: 0.01}),
+		SCRM:  NewSCRM(load.FromMap(map[int]float64{0: 0.05, 2: 0.01})),
 		Zeta:  4,
 		Alpha: 1,
 	}
@@ -233,8 +235,8 @@ func TestReverseRegionExplicitNeighbourList(t *testing.T) {
 	req := ReverseRequest{
 		UserID:       1,
 		HostCell:     0,
-		ReversePilot: map[int]float64{0: 0.02},
-		SCRM:         NewSCRM(map[int]float64{0: 0.05, 1: 0.02, 2: 0.01}),
+		ReversePilot: load.FromMap(map[int]float64{0: 0.02}),
+		SCRM:         NewSCRM(load.FromMap(map[int]float64{0: 0.05, 1: 0.02, 2: 0.01})),
 		Zeta:         4,
 		Alpha:        1,
 	}
@@ -256,8 +258,8 @@ func TestReverseRegionShadowMarginIncreasesProtection(t *testing.T) {
 		req := ReverseRequest{
 			UserID:       1,
 			HostCell:     0,
-			ReversePilot: map[int]float64{0: 0.02},
-			SCRM:         NewSCRM(map[int]float64{0: 0.05, 2: 0.01}),
+			ReversePilot: load.FromMap(map[int]float64{0: 0.02}),
+			SCRM:         NewSCRM(load.FromMap(map[int]float64{0: 0.05, 2: 0.01})),
 			Zeta:         4,
 			Alpha:        1,
 		}
@@ -287,8 +289,8 @@ func TestReverseRegionValidation(t *testing.T) {
 	good := defaultReverseState()
 	base := ReverseRequest{
 		HostCell:     0,
-		ReversePilot: map[int]float64{0: 0.02},
-		SCRM:         NewSCRM(map[int]float64{0: 0.05}),
+		ReversePilot: load.FromMap(map[int]float64{0: 0.02}),
+		SCRM:         NewSCRM(load.FromMap(map[int]float64{0: 0.05})),
 		Zeta:         4,
 		Alpha:        1,
 	}
@@ -299,11 +301,11 @@ func TestReverseRegionValidation(t *testing.T) {
 	badHost := base
 	badHost.HostCell = 9
 	noHostPilot := base
-	noHostPilot.ReversePilot = map[int]float64{1: 0.02}
+	noHostPilot.ReversePilot = load.FromMap(map[int]float64{1: 0.02})
 	badSHOCell := base
-	badSHOCell.ReversePilot = map[int]float64{0: 0.02, 9: 0.01}
+	badSHOCell.ReversePilot = load.FromMap(map[int]float64{0: 0.02, 9: 0.01})
 	badNeighbour := base
-	badNeighbour.SCRM = NewSCRM(map[int]float64{0: 0.05, 9: 0.01})
+	badNeighbour.SCRM = NewSCRM(load.FromMap(map[int]float64{0: 0.05, 9: 0.01}))
 
 	cases := []struct {
 		name  string
@@ -330,8 +332,8 @@ func TestReverseRegionNoSCRMHostPilotSkipsProjection(t *testing.T) {
 	state := defaultReverseState()
 	req := ReverseRequest{
 		HostCell:     0,
-		ReversePilot: map[int]float64{0: 0.02},
-		SCRM:         NewSCRM(map[int]float64{2: 0.01}), // host pilot missing
+		ReversePilot: load.FromMap(map[int]float64{0: 0.02}),
+		SCRM:         NewSCRM(load.FromMap(map[int]float64{2: 0.01})), // host pilot missing
 		Zeta:         4,
 		Alpha:        1,
 	}
@@ -352,15 +354,15 @@ func TestRegionFeasibleMonotoneProperty(t *testing.T) {
 	reqs := []ReverseRequest{
 		{
 			HostCell:     0,
-			ReversePilot: map[int]float64{0: 0.01, 1: 0.008},
-			SCRM:         NewSCRM(map[int]float64{0: 0.05, 1: 0.04, 2: 0.01}),
+			ReversePilot: load.FromMap(map[int]float64{0: 0.01, 1: 0.008}),
+			SCRM:         NewSCRM(load.FromMap(map[int]float64{0: 0.05, 1: 0.04, 2: 0.01})),
 			Zeta:         4,
 			Alpha:        1,
 		},
 		{
 			HostCell:     1,
-			ReversePilot: map[int]float64{1: 0.012},
-			SCRM:         NewSCRM(map[int]float64{1: 0.06, 2: 0.02}),
+			ReversePilot: load.FromMap(map[int]float64{1: 0.012}),
+			SCRM:         NewSCRM(load.FromMap(map[int]float64{1: 0.06, 2: 0.02})),
 			Zeta:         4,
 			Alpha:        1.2,
 		},

@@ -1,6 +1,10 @@
 package measurement
 
-import "sort"
+import (
+	"sort"
+
+	"jabasd/internal/load"
+)
 
 // SCRMMaxPilots is the maximum number of forward pilot strength measurements
 // a supplemental channel request message can carry (cdma2000 limit quoted in
@@ -11,26 +15,25 @@ const SCRMMaxPilots = 8
 // reverse-link burst request: up to eight forward-link pilot strength
 // measurements t_{j,k}^{FL} = (Ec/Io)_{j,k}, keyed by cell.
 type SCRM struct {
-	Pilots map[int]float64
+	Pilots load.Vec
 }
 
 // NewSCRM builds an SCRM from a full pilot report, keeping only the
-// SCRMMaxPilots strongest entries.
-func NewSCRM(pilots map[int]float64) SCRM {
-	if len(pilots) <= SCRMMaxPilots {
-		cp := make(map[int]float64, len(pilots))
-		for k, v := range pilots {
-			cp[k] = v
-		}
-		return SCRM{Pilots: cp}
+// SCRMMaxPilots strongest entries (ties broken towards the lower cell
+// index). The result owns its storage. Hot-path callers that already hold
+// their pilots strongest-first can fill an SCRM's Vec directly instead.
+func NewSCRM(pilots load.Vec) SCRM {
+	if pilots.Len() <= SCRMMaxPilots {
+		return SCRM{Pilots: pilots.Clone()}
 	}
 	type kv struct {
 		cell int
 		v    float64
 	}
-	all := make([]kv, 0, len(pilots))
-	for k, v := range pilots {
-		all = append(all, kv{k, v})
+	all := make([]kv, 0, pilots.Len())
+	for i := 0; i < pilots.Len(); i++ {
+		c, v := pilots.At(i)
+		all = append(all, kv{c, v})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].v != all[j].v {
@@ -38,9 +41,9 @@ func NewSCRM(pilots map[int]float64) SCRM {
 		}
 		return all[i].cell < all[j].cell
 	})
-	out := make(map[int]float64, SCRMMaxPilots)
+	out := load.MakeVec(SCRMMaxPilots)
 	for i := 0; i < SCRMMaxPilots; i++ {
-		out[all[i].cell] = all[i].v
+		out.Set(all[i].cell, all[i].v)
 	}
 	return SCRM{Pilots: out}
 }
@@ -52,9 +55,9 @@ type ReverseRequest struct {
 	// HostCell is the cell that received the SCRM and will schedule the
 	// burst; its reverse pilot measurement must be present.
 	HostCell int
-	// ReversePilot maps soft-handoff cell -> t_{j,k}^{RL}, the reverse-link
+	// ReversePilot holds soft-handoff cell -> t_{j,k}^{RL}, the reverse-link
 	// pilot strength (Ec/Io, linear) measured at that base station.
-	ReversePilot map[int]float64
+	ReversePilot load.Vec
 	// SCRM carries the mobile's forward pilot report used to estimate the
 	// relative path loss towards non-soft-handoff neighbour cells.
 	SCRM SCRM
@@ -89,23 +92,93 @@ type ReverseState struct {
 // (equation 10): the reverse FCH power received at cell k from this mobile,
 // reconstructed from the reverse pilot measurement.
 func fchReceivedPower(req ReverseRequest, state ReverseState, k int) (float64, bool) {
-	t, ok := req.ReversePilot[k]
+	t, ok := req.ReversePilot.Get(k)
 	if !ok {
 		return 0, false
 	}
 	return req.Zeta * t * state.TotalReceived[k], true
 }
 
-// ReverseRegion builds the reverse-link admissible region of equations
-// (16)-(18): for every cell k (soft hand-off or protected neighbour),
+// reverseVisit enumerates, for one request, every (cell, coefficient
+// contribution) pair of equations (12) and (15), validating as it goes. The
+// builder runs it twice: once to collect the constraint cells, once to fill
+// the rows.
+func reverseVisit(state ReverseState, req ReverseRequest, margin float64, visit func(cell int, contribution float64)) error {
+	nCells := len(state.TotalReceived)
+	if req.Zeta <= 0 || req.Alpha <= 0 {
+		return ErrBadInput
+	}
+	if req.HostCell < 0 || req.HostCell >= nCells {
+		return ErrBadInput
+	}
+	hostFCH, ok := fchReceivedPower(req, state, req.HostCell)
+	if !ok {
+		return ErrBadInput // host cell must have the reverse pilot
+	}
+
+	// Soft hand-off cells: direct measurement (equation 12).
+	for i := 0; i < req.ReversePilot.Len(); i++ {
+		k, _ := req.ReversePilot.At(i)
+		if k < 0 || k >= nCells {
+			return ErrBadInput
+		}
+		x, _ := fchReceivedPower(req, state, k)
+		visit(k, state.GammaS*req.Alpha*x)
+	}
+
+	// Neighbour cells not in soft hand-off: project the host-cell
+	// interference through the relative path loss (equations 13-15).
+	hostForwardPilot, hostPilotOK := req.SCRM.Pilots.Get(req.HostCell)
+	if !hostPilotOK || hostForwardPilot <= 0 {
+		return nil // cannot project without the host forward pilot
+	}
+	project := func(k int) error {
+		if k == req.HostCell {
+			return nil
+		}
+		if _, isSHO := req.ReversePilot.Get(k); isSHO {
+			return nil // already handled with the direct measurement
+		}
+		if k < 0 || k >= nCells {
+			return ErrBadInput
+		}
+		fp, ok := req.SCRM.Pilots.Get(k)
+		if !ok || fp <= 0 {
+			return nil // no pilot report for this neighbour
+		}
+		relPathLoss := fp / hostForwardPilot // δP_{k,k'} of equation (14)
+		visit(k, state.GammaS*req.Alpha*hostFCH*relPathLoss*margin)
+		return nil
+	}
+	if neighbours := state.NeighbourCells[req.HostCell]; neighbours != nil {
+		for _, k := range neighbours {
+			if err := project(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < req.SCRM.Pilots.Len(); i++ {
+		k, _ := req.SCRM.Pilots.At(i)
+		if err := project(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reverse builds the reverse-link admissible region of equations (16)-(18)
+// into the builder's reusable buffers: for every cell k (soft hand-off or
+// protected neighbour),
 //
 //	Σ_j Y_{j,k}(m_j)  <=  L_max − L_k,
 //
 // where Y_{j,k} = m_j γ_s α_j X_{j,k}(FCH) for soft hand-off cells
 // (equation 12) and the projected value scaled by the relative path loss
 // estimated from the SCRM forward pilots times the shadow margin for
-// neighbour cells not in soft hand-off (equation 15).
-func ReverseRegion(state ReverseState, requests []ReverseRequest) (Region, error) {
+// neighbour cells not in soft hand-off (equation 15). The returned Region
+// aliases the builder's storage and is valid until the next build.
+func (b *RegionBuilder) Reverse(state ReverseState, requests []ReverseRequest) (Region, error) {
 	if state.MaxReceived <= 0 || state.GammaS <= 0 {
 		return Region{}, ErrBadInput
 	}
@@ -113,98 +186,36 @@ func ReverseRegion(state ReverseState, requests []ReverseRequest) (Region, error
 	if margin < 1 {
 		margin = 1
 	}
-	n := len(requests)
+	b.begin(len(state.TotalReceived))
 
-	// Determine the set of cells that need a constraint row and the per
-	// (request, cell) interference coefficient.
-	coeff := map[int][]float64{} // cell -> row
-	ensureRow := func(k int) []float64 {
-		if row, ok := coeff[k]; ok {
-			return row
+	// Pass 1: validate and collect the constraint cells.
+	for _, req := range requests {
+		if err := reverseVisit(state, req, margin, func(cell int, _ float64) {
+			b.touch(cell)
+		}); err != nil {
+			return Region{}, err
 		}
-		row := make([]float64, n)
-		coeff[k] = row
-		return row
 	}
+	b.finishCells(len(requests))
 
+	// Pass 2: accumulate the coefficients (validation already passed).
 	for j, req := range requests {
-		if req.Zeta <= 0 || req.Alpha <= 0 {
-			return Region{}, ErrBadInput
+		row := func(cell int, contribution float64) {
+			b.row(cell)[j] += contribution
 		}
-		if req.HostCell < 0 || req.HostCell >= len(state.TotalReceived) {
-			return Region{}, ErrBadInput
-		}
-		hostFCH, ok := fchReceivedPower(req, state, req.HostCell)
-		if !ok {
-			return Region{}, ErrBadInput // host cell must have the reverse pilot
-		}
-		hostForwardPilot, hostPilotOK := req.SCRM.Pilots[req.HostCell]
-
-		// Soft hand-off cells: direct measurement (equation 12).
-		for k := range req.ReversePilot {
-			if k < 0 || k >= len(state.TotalReceived) {
-				return Region{}, ErrBadInput
-			}
-			x, _ := fchReceivedPower(req, state, k)
-			row := ensureRow(k)
-			row[j] += state.GammaS * req.Alpha * x
-		}
-
-		// Neighbour cells not in soft hand-off: project the host-cell
-		// interference through the relative path loss (equations 13-15).
-		if !hostPilotOK || hostForwardPilot <= 0 {
-			continue // cannot project without the host forward pilot
-		}
-		neighbours := state.NeighbourCells[req.HostCell]
-		if neighbours == nil {
-			for k := range req.SCRM.Pilots {
-				neighbours = append(neighbours, k)
-			}
-			sort.Ints(neighbours)
-		}
-		for _, k := range neighbours {
-			if k == req.HostCell {
-				continue
-			}
-			if _, isSHO := req.ReversePilot[k]; isSHO {
-				continue // already handled with the direct measurement
-			}
-			if k < 0 || k >= len(state.TotalReceived) {
-				return Region{}, ErrBadInput
-			}
-			fp, ok := req.SCRM.Pilots[k]
-			if !ok || fp <= 0 {
-				continue // no pilot report for this neighbour
-			}
-			relPathLoss := fp / hostForwardPilot // δP_{k,k'} of equation (14)
-			row := ensureRow(k)
-			row[j] += state.GammaS * req.Alpha * hostFCH * relPathLoss * margin
+		if err := reverseVisit(state, req, margin, row); err != nil {
+			return Region{}, err
 		}
 	}
-
-	cells := make([]int, 0, len(coeff))
-	for k := range coeff {
-		cells = append(cells, k)
+	for i, k := range b.cells {
+		b.bounds[i] = state.MaxReceived - state.TotalReceived[k]
 	}
-	sort.Ints(cells)
-	region := Region{Cells: cells}
-	for _, k := range cells {
-		region.Coeff = append(region.Coeff, coeff[k])
-		region.Bound = append(region.Bound, state.MaxReceived-state.TotalReceived[k])
-	}
-	return region, nil
+	return b.region(), nil
 }
 
-// Merge combines two regions over the same request vector into one (the
-// scheduling sub-layer optimises forward and reverse link assignments
-// independently, but tests and tools sometimes want the joint region).
-func Merge(a, b Region) Region {
-	out := Region{}
-	out.Coeff = append(out.Coeff, a.Coeff...)
-	out.Coeff = append(out.Coeff, b.Coeff...)
-	out.Bound = append(out.Bound, a.Bound...)
-	out.Bound = append(out.Bound, b.Bound...)
-	out.Cells = append(out.Cells, a.Cells...)
-	out.Cells = append(out.Cells, b.Cells...)
-	return out
+// ReverseRegion builds the reverse-link admissible region on a fresh
+// builder; unlike RegionBuilder.Reverse the result owns its storage.
+func ReverseRegion(state ReverseState, requests []ReverseRequest) (Region, error) {
+	var b RegionBuilder
+	return b.Reverse(state, requests)
 }

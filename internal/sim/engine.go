@@ -7,6 +7,7 @@ import (
 	"jabasd/internal/cellular"
 	"jabasd/internal/channel"
 	"jabasd/internal/core"
+	"jabasd/internal/load"
 	"jabasd/internal/mac"
 	"jabasd/internal/mathx"
 	"jabasd/internal/measurement"
@@ -45,7 +46,7 @@ type burst struct {
 	// load is the resource this burst consumes per cell while active:
 	// forward -> watts of base-station power, reverse -> watts of received
 	// interference, fixed at grant time.
-	load map[int]float64
+	load load.Vec
 	// setupRemaining is the MAC set-up delay still to elapse before bits flow.
 	setupRemaining float64
 	servedBits     float64
@@ -71,10 +72,12 @@ type dataUser struct {
 	queuedCell int
 	firstGrant bool
 
-	fchPower  map[int]float64 // forward FCH power per reduced-set cell (W)
-	revFCHRx  map[int]float64 // reverse FCH received power per cell (W)
-	meanCSIdB float64         // local-mean SCH Es/Io (dB)
-	geometry  float64         // linear serving-power / (other + noise)
+	fchPower  load.Vec // forward FCH power per reduced-set cell (W), rebuilt per frame
+	revFCHRx  load.Vec // reverse FCH received power per cell (W), rebuilt per frame
+	revPilot  load.Vec // scratch: reverse pilot report attached to a burst request
+	scrm      load.Vec // scratch: SCRM forward pilot report (strongest-first)
+	meanCSIdB float64  // local-mean SCH Es/Io (dB)
+	geometry  float64  // linear serving-power / (other + noise)
 }
 
 // voiceUser is one circuit voice mobile (background load only).
@@ -99,10 +102,23 @@ type Engine struct {
 	queues []*traffic.Queue // per cell
 	bursts []*burst
 
-	// currentLoad is the per-cell resource use this frame: forward-link
+	// loads is the per-cell resource ledger for this frame: forward-link
 	// transmit power (W) or reverse-link received power (W) depending on
-	// the configured direction.
-	currentLoad []float64
+	// the configured direction. Allocated once, refilled every frame.
+	loads *load.Ledger
+
+	// regionB reuses the admissible-region row storage across frames.
+	regionB measurement.RegionBuilder
+
+	// admitScratch holds the per-cell admission working set, reused across
+	// cells and frames so the admission loop does not allocate.
+	admitScratch struct {
+		items []*traffic.BurstRequest
+		reqs  []core.Request
+		users []*dataUser
+		fwd   []measurement.ForwardRequest
+		rev   []measurement.ReverseRequest
+	}
 
 	metrics *Metrics
 	now     float64
@@ -149,7 +165,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	for k := range e.queues {
 		e.queues[k] = traffic.NewQueue()
 	}
-	e.currentLoad = make([]float64, layout.NumCells())
+	e.loads = load.NewLedger(layout.NumCells())
 	e.populate()
 	return e, nil
 }
@@ -169,8 +185,10 @@ func (e *Engine) populate() {
 				macM:     mac.MustNewMachine(e.cfg.MAC),
 				gain:     make([]float64, nCells),
 				shadow:   make([]*channel.Shadowing, nCells),
-				fchPower: map[int]float64{},
-				revFCHRx: map[int]float64{},
+				fchPower: load.MakeVec(3),
+				revFCHRx: load.MakeVec(3),
+				revPilot: load.MakeVec(3),
+				scrm:     load.MakeVec(measurement.SCRMMaxPilots),
 			}
 			for k := 0; k < nCells; k++ {
 				u.shadow[k] = channel.NewShadowing(userSrc.Split(uint64(10+k)), e.cfg.ShadowSigmaDB, e.cfg.ShadowDecorrM)
@@ -235,12 +253,12 @@ func (e *Engine) updateUsers(dt float64) {
 			lossDB := e.cfg.PathLoss.LossDB(e.layout.Distance(pos, k))
 			u.gain[k] = math.Pow(10, (-lossDB+u.shadow[k].CurrentDB())/10)
 		}
-		u.pilots = cellular.PilotSet(u.gain, e.cfg.PilotFraction, e.cfg.MaxCellPowerW, e.cfg.NoiseW)
-		u.active = cellular.ActiveSet(u.pilots, e.cfg.SoftHandoffAddDB, e.cfg.PilotMinEcIoDB, 3)
-		u.reduced = cellular.ReducedActiveSet(u.pilots, u.active)
+		u.pilots = cellular.PilotSetInto(u.pilots, u.gain, e.cfg.PilotFraction, e.cfg.MaxCellPowerW, e.cfg.NoiseW)
+		u.active = cellular.ActiveSetInto(u.active, u.pilots, e.cfg.SoftHandoffAddDB, e.cfg.PilotMinEcIoDB, 3)
+		u.reduced = cellular.ReducedActiveSetInto(u.reduced, u.pilots, u.active)
 		if len(u.reduced) == 0 {
 			// Degenerate coverage hole: fall back to the strongest cell.
-			u.reduced = []int{u.pilots[0].Cell}
+			u.reduced = append(u.reduced, u.pilots[0].Cell)
 		}
 		u.hostCell = u.reduced[0]
 
@@ -259,12 +277,10 @@ func (e *Engine) updateUsers(dt float64) {
 		// Forward FCH power needed at each reduced-active-set cell (equation 6
 		// inputs): P = EbIo_target * I / (gain * processing gain), capped.
 		cap := e.cfg.FCHTargetFraction * e.cfg.MaxCellPowerW
-		for k := range u.fchPower {
-			delete(u.fchPower, k)
-		}
+		u.fchPower.Reset()
 		for _, k := range u.reduced {
 			req := ebioTarget * interference / (u.gain[k] * fchPG)
-			u.fchPower[k] = math.Min(req, cap)
+			u.fchPower.Set(k, math.Min(req, cap))
 		}
 
 		// Reverse FCH received power at every cell, assuming the mobile's
@@ -275,11 +291,9 @@ func (e *Engine) updateUsers(dt float64) {
 		nominalL := e.cfg.NoiseW * (1 + (e.cfg.ReverseRiseLimit-1)/2)
 		bestGain := u.gain[u.hostCell]
 		revTx := ebioTarget * nominalL / (bestGain * fchPG)
-		for k := range u.revFCHRx {
-			delete(u.revFCHRx, k)
-		}
+		u.revFCHRx.Reset()
 		for _, k := range u.reduced {
-			u.revFCHRx[k] = revTx * u.gain[k] / e.cfg.NoiseW
+			u.revFCHRx.Set(k, revTx*u.gain[k]/e.cfg.NoiseW)
 		}
 
 		u.macM.AdvanceTo(e.now)
@@ -303,53 +317,39 @@ func (e *Engine) generateTraffic(dt float64) {
 	}
 }
 
-// accumulateLoads recomputes the per-cell resource use for this frame from
-// the background (voice + FCH) channels and the ongoing bursts.
+// accumulateLoads recomputes the per-cell resource ledger for this frame
+// from the background (voice + FCH) channels and the ongoing bursts.
 func (e *Engine) accumulateLoads() {
-	nCells := e.layout.NumCells()
-	for k := 0; k < nCells; k++ {
-		e.currentLoad[k] = 0
-	}
 	switch e.cfg.Direction {
 	case Forward:
-		for k := 0; k < nCells; k++ {
-			e.currentLoad[k] = e.cfg.CommonOverheadFrac * e.cfg.MaxCellPowerW
-		}
+		e.loads.Fill(e.cfg.CommonOverheadFrac * e.cfg.MaxCellPowerW)
 		for _, v := range e.voice {
 			if v.model.Active() {
-				e.currentLoad[v.cell] += e.cfg.VoiceChannelW
+				e.loads.Add(v.cell, e.cfg.VoiceChannelW)
 			}
 		}
 		for _, u := range e.users {
-			for k, p := range u.fchPower {
-				e.currentLoad[k] += p
-			}
+			e.loads.AddVec(u.fchPower)
 		}
 	case Reverse:
 		// Reverse-link quantities are tracked in rise-over-thermal units:
 		// the noise floor contributes 1 and the budget is ReverseRiseLimit.
-		for k := 0; k < nCells; k++ {
-			e.currentLoad[k] = 1
-		}
+		e.loads.Fill(1)
 		// Voice users raise the reverse interference of their serving cell by
 		// a fixed per-user share of the budget while talking.
 		voiceShare := (e.cfg.ReverseRiseLimit - 1) / 40
 		for _, v := range e.voice {
 			if v.model.Active() {
-				e.currentLoad[v.cell] += voiceShare
+				e.loads.Add(v.cell, voiceShare)
 			}
 		}
 		for _, u := range e.users {
-			for k, x := range u.revFCHRx {
-				e.currentLoad[k] += x
-			}
+			e.loads.AddVec(u.revFCHRx)
 		}
 	}
 	// Ongoing bursts occupy the resource they were granted.
 	for _, b := range e.bursts {
-		for k, p := range b.load {
-			e.currentLoad[k] += p
-		}
+		e.loads.AddVec(b.load)
 	}
 }
 
@@ -409,19 +409,23 @@ func (e *Engine) completeBurst(b *burst) {
 	u.macM.Touch(e.now)
 }
 
-// admit runs the measurement and scheduling sub-layers for every cell.
+// admit runs the measurement and scheduling sub-layers for every cell. All
+// per-cell working storage lives in e.admitScratch and the engine's region
+// builder, so the steady-state admission loop is allocation-free up to the
+// scheduler's integer programme.
 func (e *Engine) admit() {
+	s := &e.admitScratch
 	for k := 0; k < e.layout.NumCells(); k++ {
 		queue := e.queues[k]
 		if queue.Len() == 0 {
 			continue
 		}
-		items := append([]*traffic.BurstRequest(nil), queue.Items()...)
-		reqs := make([]core.Request, 0, len(items))
-		users := make([]*dataUser, 0, len(items))
-		var fwdReqs []measurement.ForwardRequest
-		var revReqs []measurement.ReverseRequest
-		for _, item := range items {
+		s.items = append(s.items[:0], queue.Items()...)
+		s.reqs = s.reqs[:0]
+		s.users = s.users[:0]
+		s.fwd = s.fwd[:0]
+		s.rev = s.rev[:0]
+		for _, item := range s.items {
 			u := e.userByID(item.UserID)
 			if u == nil || u.queuedReq != item {
 				queue.Remove(item) // stale entry
@@ -429,7 +433,7 @@ func (e *Engine) admit() {
 			}
 			bp := e.phy.AverageThroughput(u.meanCSIdB)
 			wait := e.now - item.ArrivalTime
-			reqs = append(reqs, core.Request{
+			s.reqs = append(s.reqs, core.Request{
 				UserID:        u.id,
 				SizeBits:      item.SizeBits,
 				WaitingTime:   wait,
@@ -438,35 +442,39 @@ func (e *Engine) admit() {
 				AvgThroughput: bp,
 				MaxRatio:      e.cfg.RatePlan.MaxUsefulRatio(item.SizeBits, bp, e.cfg.MinBurstDuration),
 			})
-			users = append(users, u)
+			s.users = append(s.users, u)
 			switch e.cfg.Direction {
 			case Forward:
-				fr := measurement.ForwardRequest{UserID: u.id, FCHPower: map[int]float64{}, Alpha: 1}
-				for c, p := range u.fchPower {
-					fr.FCHPower[c] = p
-				}
-				fwdReqs = append(fwdReqs, fr)
+				// The request shares the user's FCH ledger: the region builder
+				// only reads it, and the region is consumed within this frame.
+				s.fwd = append(s.fwd, measurement.ForwardRequest{UserID: u.id, FCHPower: u.fchPower, Alpha: 1})
 			case Reverse:
-				rp := map[int]float64{}
 				zeta := 4.0
-				for c, x := range u.revFCHRx {
-					rp[c] = x / (zeta * math.Max(e.currentLoad[c], 1))
+				u.revPilot.Reset()
+				for i := 0; i < u.revFCHRx.Len(); i++ {
+					c, x := u.revFCHRx.At(i)
+					u.revPilot.Set(c, x/(zeta*math.Max(e.loads.Get(c), 1)))
 				}
-				scrmPilots := map[int]float64{}
-				for _, pm := range u.pilots {
-					scrmPilots[pm.Cell] = pm.EcIo
+				// The pilots are sorted strongest-first, so the first
+				// SCRMMaxPilots entries are exactly the SCRM payload.
+				u.scrm.Reset()
+				for i, pm := range u.pilots {
+					if i >= measurement.SCRMMaxPilots {
+						break
+					}
+					u.scrm.Set(pm.Cell, pm.EcIo)
 				}
-				revReqs = append(revReqs, measurement.ReverseRequest{
+				s.rev = append(s.rev, measurement.ReverseRequest{
 					UserID:       u.id,
 					HostCell:     u.hostCell,
-					ReversePilot: rp,
-					SCRM:         measurement.NewSCRM(scrmPilots),
+					ReversePilot: u.revPilot,
+					SCRM:         measurement.SCRM{Pilots: u.scrm},
 					Zeta:         zeta,
 					Alpha:        1,
 				})
 			}
 		}
-		if len(reqs) == 0 {
+		if len(s.reqs) == 0 {
 			continue
 		}
 
@@ -474,25 +482,25 @@ func (e *Engine) admit() {
 		var err error
 		switch e.cfg.Direction {
 		case Forward:
-			region, err = measurement.ForwardRegion(measurement.ForwardState{
-				CurrentLoad: e.currentLoad,
+			region, err = e.regionB.Forward(measurement.ForwardState{
+				CurrentLoad: e.loads.Values(),
 				MaxLoad:     e.cfg.MaxCellPowerW,
 				GammaS:      e.cfg.RatePlan.GammaS,
-			}, fwdReqs)
+			}, s.fwd)
 		case Reverse:
-			region, err = measurement.ReverseRegion(measurement.ReverseState{
-				TotalReceived: e.currentLoad,
+			region, err = e.regionB.Reverse(measurement.ReverseState{
+				TotalReceived: e.loads.Values(),
 				MaxReceived:   e.cfg.ReverseRiseLimit,
 				GammaS:        e.cfg.RatePlan.GammaS,
 				ShadowMargin:  e.cfg.ShadowMargin,
-			}, revReqs)
+			}, s.rev)
 		}
 		if err != nil {
 			continue // skip this cell this frame rather than abort the run
 		}
 
 		problem := core.Problem{
-			Requests:  reqs,
+			Requests:  s.reqs,
 			Region:    region,
 			MaxRatio:  e.cfg.RatePlan.MaxSpreadingRatio,
 			Objective: e.cfg.Objective,
@@ -506,32 +514,28 @@ func (e *Engine) admit() {
 			if m <= 0 {
 				continue
 			}
-			u := users[j]
+			u := s.users[j]
 			item := u.queuedReq
 			queue.Remove(item)
-			load := map[int]float64{}
+			// Freeze the burst's per-cell footprint at grant time: the user's
+			// ledgers are rebuilt every frame, so the burst needs its own copy.
+			var granted load.Vec
 			switch e.cfg.Direction {
 			case Forward:
-				for c, p := range u.fchPower {
-					load[c] = e.cfg.RatePlan.GammaS * float64(m) * p
-				}
+				granted = u.fchPower.CloneScaled(e.cfg.RatePlan.GammaS * float64(m))
 			case Reverse:
-				for c, x := range u.revFCHRx {
-					load[c] = e.cfg.RatePlan.GammaS * float64(m) * x
-				}
+				granted = u.revFCHRx.CloneScaled(e.cfg.RatePlan.GammaS * float64(m))
 			}
 			b := &burst{
 				user:           u,
 				ratio:          m,
 				remaining:      item.SizeBits,
-				load:           load,
+				load:           granted,
 				setupRemaining: u.macM.SetupDelayNow(e.now),
 				grantedAt:      e.now,
 			}
 			e.bursts = append(e.bursts, b)
-			for c, p := range load {
-				e.currentLoad[c] += p
-			}
+			e.loads.AddVec(granted)
 			if e.now >= e.cfg.WarmupTime {
 				e.metrics.AssignedRatio.Add(float64(m))
 				if !u.firstGrant {
@@ -553,7 +557,7 @@ func (e *Engine) collect() {
 		budget = e.cfg.ReverseRiseLimit
 	}
 	for k := 0; k < e.layout.NumCells(); k++ {
-		e.metrics.CellLoad.Add(mathx.Clamp(e.currentLoad[k]/budget, 0, 2))
+		e.metrics.CellLoad.Add(mathx.Clamp(e.loads.Get(k)/budget, 0, 2))
 	}
 	total := 0
 	for _, q := range e.queues {

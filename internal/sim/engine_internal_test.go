@@ -36,7 +36,7 @@ func TestPopulateCounts(t *testing.T) {
 	if len(e.voice) != 7*2 {
 		t.Errorf("voice users = %d, want 14", len(e.voice))
 	}
-	if len(e.queues) != 7 || len(e.currentLoad) != 7 {
+	if len(e.queues) != 7 || e.loads.NumCells() != 7 {
 		t.Error("per-cell structures sized wrong")
 	}
 	// Every user must have one shadowing process per cell and a fading source.
@@ -68,11 +68,11 @@ func TestUpdateUsersProducesConsistentState(t *testing.T) {
 		}
 		// FCH powers exist exactly for the reduced-set cells and respect the cap.
 		cap := e.cfg.FCHTargetFraction * e.cfg.MaxCellPowerW
-		if len(u.fchPower) != len(u.reduced) {
-			t.Errorf("fchPower entries %d != reduced set %d", len(u.fchPower), len(u.reduced))
+		if u.fchPower.Len() != len(u.reduced) {
+			t.Errorf("fchPower entries %d != reduced set %d", u.fchPower.Len(), len(u.reduced))
 		}
-		for _, p := range u.fchPower {
-			if p <= 0 || p > cap+1e-12 {
+		for i := 0; i < u.fchPower.Len(); i++ {
+			if _, p := u.fchPower.At(i); p <= 0 || p > cap+1e-12 {
 				t.Errorf("FCH power %v outside (0, %v]", p, cap)
 			}
 		}
@@ -81,8 +81,8 @@ func TestUpdateUsersProducesConsistentState(t *testing.T) {
 			t.Error("meanCSIdB not finite")
 		}
 		// Reverse FCH received powers (normalised) must be positive.
-		for _, x := range u.revFCHRx {
-			if x <= 0 || math.IsNaN(x) {
+		for i := 0; i < u.revFCHRx.Len(); i++ {
+			if _, x := u.revFCHRx.At(i); x <= 0 || math.IsNaN(x) {
 				t.Errorf("reverse FCH received power invalid: %v", x)
 			}
 		}
@@ -95,7 +95,7 @@ func TestAccumulateLoadsForwardIncludesOverheadAndFCH(t *testing.T) {
 	e.updateUsers(e.cfg.FrameLength)
 	e.accumulateLoads()
 	minOverhead := e.cfg.CommonOverheadFrac * e.cfg.MaxCellPowerW
-	for k, load := range e.currentLoad {
+	for k, load := range e.loads.Values() {
 		if load < minOverhead {
 			t.Errorf("cell %d load %v below the common-channel overhead %v", k, load, minOverhead)
 		}
@@ -103,15 +103,13 @@ func TestAccumulateLoadsForwardIncludesOverheadAndFCH(t *testing.T) {
 	// Total FCH power across cells must be accounted: the sum of loads must
 	// exceed overhead*K by at least the sum of all users' FCH powers.
 	sumLoad, sumFCH := 0.0, 0.0
-	for _, l := range e.currentLoad {
+	for _, l := range e.loads.Values() {
 		sumLoad += l
 	}
 	for _, u := range e.users {
-		for _, p := range u.fchPower {
-			sumFCH += p
-		}
+		sumFCH += u.fchPower.Sum()
 	}
-	if sumLoad < minOverhead*float64(len(e.currentLoad))+sumFCH-1e-9 {
+	if sumLoad < minOverhead*float64(e.loads.NumCells())+sumFCH-1e-9 {
 		t.Error("per-cell loads do not account for all FCH power")
 	}
 }
@@ -121,7 +119,7 @@ func TestAccumulateLoadsReverseStartsAtNoiseFloor(t *testing.T) {
 	e.updateVoice(e.cfg.FrameLength)
 	e.updateUsers(e.cfg.FrameLength)
 	e.accumulateLoads()
-	for k, load := range e.currentLoad {
+	for k, load := range e.loads.Values() {
 		if load < 1 {
 			t.Errorf("cell %d reverse load %v below the normalised noise floor", k, load)
 		}
@@ -152,11 +150,11 @@ func TestAdmitGrantsAndAccountsLoad(t *testing.T) {
 		if b.remaining <= 0 {
 			t.Error("active burst has nothing left to send")
 		}
-		if len(b.load) == 0 {
+		if b.load.Len() == 0 {
 			t.Error("active burst holds no resources")
 		}
-		for cell, p := range b.load {
-			if p <= 0 {
+		for i := 0; i < b.load.Len(); i++ {
+			if cell, p := b.load.At(i); p <= 0 {
 				t.Errorf("burst load at cell %d is %v", cell, p)
 			}
 		}
@@ -197,6 +195,28 @@ func TestServeBurstsCompletesAndReleasesUser(t *testing.T) {
 	}
 	if e.metrics.BitsDelivered <= 0 {
 		t.Error("no bits were accounted as delivered")
+	}
+}
+
+// TestFrameHotPathStaysAllocationFree pins the point of the dense cell-load
+// ledgers: once the per-user buffers have reached steady state, the
+// measurement side of the frame loop (channel state, pilot sets, FCH
+// ledgers, load accumulation) performs no allocations at all.
+func TestFrameHotPathStaysAllocationFree(t *testing.T) {
+	e := newTestEngine(t, nil)
+	// Warm up: the first frames grow the per-user buffers to capacity.
+	for f := 0; f < 10; f++ {
+		e.now = float64(f) * e.cfg.FrameLength
+		e.step()
+	}
+	dt := e.cfg.FrameLength
+	allocs := testing.AllocsPerRun(20, func() {
+		e.updateVoice(dt)
+		e.updateUsers(dt)
+		e.accumulateLoads()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state frame measurement path allocated %v times per frame, want 0", allocs)
 	}
 }
 
