@@ -47,7 +47,7 @@ func run(args []string) error {
 	}
 	if *listPresets {
 		for _, n := range scenario.Names() {
-			fmt.Println(n)
+			fmt.Printf("%-12s %s\n", n, scenario.Describe(n))
 		}
 		return nil
 	}

@@ -1,0 +1,183 @@
+// Command jabasweep runs parameter sweeps over the scenario presets and
+// renders paper-style curve tables: one row per grid point with admission
+// probability, throughput and outage plus across-replication confidence
+// intervals. The grid is the cross product of repeatable -axis flags
+// anchored on a -preset, or one of the built-in named grids (-grid).
+// (point × replication) work items fan out over a worker pool; output is
+// identical for a fixed seed no matter what -parallel is.
+//
+// Usage:
+//
+//	jabasweep -preset smoke -axis datausers=2,4 -reps 2          # 2-point load curve
+//	jabasweep -preset baseline -axis datausers=4,12,24 -axis scheduler=jaba-sd,fcfs
+//	jabasweep -grid paper-load-sweep -reps 4 -o curves.csv       # the paper's load axis
+//	jabasweep -preset smoke -axis speed=1:5,14:28 -format json
+//	jabasweep -grid paper-load-sweep -points                     # dry run: list the points
+//	jabasweep -list-grids                                        # built-in named grids
+//	jabasweep -list-axes                                         # axis syntax reference
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"jabasd/internal/report"
+	"jabasd/internal/scenario"
+	"jabasd/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jabasweep:", err)
+		os.Exit(1)
+	}
+}
+
+// axisFlags collects repeated -axis specifications.
+type axisFlags []string
+
+func (a *axisFlags) String() string { return strings.Join(*a, " ") }
+
+func (a *axisFlags) Set(v string) error {
+	*a = append(*a, v)
+	return nil
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("jabasweep", flag.ContinueOnError)
+	var axes axisFlags
+	fs.Var(&axes, "axis", "axis spec name=v1,v2,... (repeatable; see -list-axes)")
+	var (
+		presetName = fs.String("preset", scenario.PresetSmoke, "scenario preset anchoring every grid point")
+		gridName   = fs.String("grid", "", "built-in named grid (see -list-grids; excludes -preset/-axis)")
+		reps       = fs.Int("reps", 1, "independent replications per grid point")
+		parallel   = fs.Int("parallel", 0, "max concurrent (point x replication) work items (0 = GOMAXPROCS)")
+		seed       = fs.Uint64("seed", 0, "base random seed (0 keeps the preset's)")
+		format     = fs.String("format", "csv", "output format: csv or json")
+		outPath    = fs.String("o", "", "output file (default stdout)")
+		dryRun     = fs.Bool("points", false, "list the expanded grid points and exit (dry run)")
+		listGrids  = fs.Bool("list-grids", false, "list the built-in named grids and exit")
+		listAxes   = fs.Bool("list-axes", false, "list the sweepable axes and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "csv" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want csv or json)", *format)
+	}
+
+	if *listAxes {
+		for _, line := range sweep.Axes() {
+			fmt.Fprintln(stdout, line)
+		}
+		return nil
+	}
+	if *listGrids {
+		for _, g := range sweep.Grids() {
+			points, err := g.Points()
+			if err != nil {
+				return err
+			}
+			axisNames := make([]string, len(g.Axes))
+			for i, ax := range g.Axes {
+				axisNames[i] = fmt.Sprintf("%s(%d)", ax.Name, len(ax.Values))
+			}
+			fmt.Fprintf(stdout, "%-18s preset=%s axes=%s points=%d\n",
+				g.Name, g.Preset, strings.Join(axisNames, "x"), len(points))
+		}
+		return nil
+	}
+
+	presetSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "preset" {
+			presetSet = true
+		}
+	})
+	grid, err := selectGrid(*gridName, *presetName, presetSet, axes)
+	if err != nil {
+		return err
+	}
+
+	if *dryRun {
+		points, err := grid.Points()
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			fmt.Fprintf(stdout, "%3d  %s\n", p.Index, p.Label())
+		}
+		fmt.Fprintf(stdout, "%d points x %d reps = %d runs\n", len(points), *reps, len(points)**reps)
+		return nil
+	}
+
+	w := stdout
+	var outFile *os.File
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		// Close errors matter (a full disk surfaces at the final flush), so
+		// close explicitly on success; the deferred close only backs failure
+		// paths, where the write error already wins.
+		defer f.Close()
+		outFile = f
+		w = f
+	}
+
+	// CSV streams: the header goes out up front and each row as soon as its
+	// point (and every earlier point) completes, so a failure late in a long
+	// sweep keeps every finished row. JSON needs the closing brackets, so it
+	// is rendered only once the whole sweep succeeds.
+	tbl := sweep.NewCurveTable(grid)
+	if *format == "csv" {
+		if _, err := io.WriteString(w, report.CSVLine(tbl.Columns)); err != nil {
+			return err
+		}
+	}
+	opts := sweep.Options{Reps: *reps, Parallel: *parallel, BaseSeed: *seed}
+	err = sweep.Stream(grid, opts, func(r sweep.Result) error {
+		fmt.Fprintf(os.Stderr, "point %d/%s done (%d reps)\n", r.Index, r.Label(), r.Agg.Replications)
+		row := sweep.AppendCurveRow(tbl, r)
+		if *format == "csv" {
+			_, err := io.WriteString(w, report.CSVLine(row))
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		if *format == "csv" && tbl.NumRows() > 0 {
+			fmt.Fprintf(os.Stderr, "kept %d completed rows\n", tbl.NumRows())
+		}
+		return err
+	}
+	if *format == "json" {
+		if err := tbl.WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", tbl.NumRows(), *outPath)
+	}
+	return nil
+}
+
+// selectGrid resolves the -grid / -preset / -axis flags into one grid. A
+// named grid carries its own preset and axes, so explicitly combining it
+// with either flag is a conflict, not something to silently ignore.
+func selectGrid(gridName, presetName string, presetSet bool, axes []string) (sweep.Grid, error) {
+	if gridName != "" {
+		if len(axes) > 0 || presetSet {
+			return sweep.Grid{}, fmt.Errorf("-grid carries its own preset and axes; drop -preset/-axis")
+		}
+		return sweep.LookupGrid(gridName)
+	}
+	return sweep.New(presetName, axes)
+}

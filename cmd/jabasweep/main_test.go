@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestListAxes(t *testing.T) {
+	out := capture(t, "-list-axes")
+	for _, want := range []string{"datausers", "speed", "scheduler", "objective", "direction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list-axes missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestListGrids(t *testing.T) {
+	out := capture(t, "-list-grids")
+	if !strings.Contains(out, "paper-load-sweep") || !strings.Contains(out, "points=60") {
+		t.Errorf("-list-grids output:\n%s", out)
+	}
+}
+
+func TestPointsDryRun(t *testing.T) {
+	out := capture(t, "-preset", "smoke", "-axis", "datausers=2,4", "-reps", "2", "-points")
+	if !strings.Contains(out, "datausers=2") || !strings.Contains(out, "2 points x 2 reps = 4 runs") {
+		t.Errorf("-points output:\n%s", out)
+	}
+	// The named grids dry-run too, without running a single simulation.
+	out = capture(t, "-grid", "paper-load-sweep", "-points")
+	if got := strings.Count(out, "\n"); got != 61 { // 60 points + summary
+		t.Errorf("paper-load-sweep dry run printed %d lines:\n%s", got, out)
+	}
+}
+
+// TestSweepCSVDeterministicAcrossParallel is the acceptance check: the same
+// grid must emit byte-identical CSV for -parallel 1 and -parallel 8.
+func TestSweepCSVDeterministicAcrossParallel(t *testing.T) {
+	base := []string{"-preset", "smoke", "-axis", "datausers=2,4", "-reps", "2"}
+	serial := capture(t, append(base, "-parallel", "1")...)
+	parallel := capture(t, append(base, "-parallel", "8")...)
+	if serial != parallel {
+		t.Errorf("CSV depends on -parallel:\n--- 1\n%s--- 8\n%s", serial, parallel)
+	}
+	lines := strings.Split(strings.TrimSpace(serial), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "datausers,reps,admission_prob") {
+		t.Errorf("unexpected CSV header %q", lines[0])
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	out := capture(t, "-preset", "smoke", "-axis", "datausers=2", "-format", "json")
+	var doc struct {
+		Title   string              `json:"title"`
+		Columns []string            `json:"columns"`
+		Rows    []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(doc.Rows) != 1 || doc.Rows[0]["datausers"] != "2" {
+		t.Errorf("unexpected JSON rows: %+v", doc.Rows)
+	}
+	if doc.Columns[0] != "datausers" {
+		t.Errorf("unexpected JSON columns: %v", doc.Columns)
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.csv")
+	capture(t, "-preset", "smoke", "-axis", "datausers=2", "-o", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "admission_prob") {
+		t.Errorf("written file missing header:\n%s", data)
+	}
+}
+
+func TestSeedOverrideChangesResults(t *testing.T) {
+	base := []string{"-preset", "smoke", "-axis", "datausers=4"}
+	a := capture(t, append(base, "-seed", "7")...)
+	b := capture(t, append(base, "-seed", "7")...)
+	if a != b {
+		t.Error("same -seed should reproduce the CSV")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-preset", "no-such-preset"},
+		{"-axis", "nope=1,2"},
+		{"-axis", "datausers=-3"},
+		{"-grid", "no-such-grid"},
+		{"-grid", "paper-load-sweep", "-axis", "datausers=2"},
+		{"-grid", "paper-load-sweep", "-preset", "smoke"},
+		{"-axis", "datausers=2", "-axis", "datausers=4"},
+		{"-format", "xml"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
 
 	"jabasd/internal/report"
+	"jabasd/internal/stream"
 )
 
 // Experiment is one entry of the registered suite: a stable id, the
@@ -128,52 +128,15 @@ func RunExperiments(defs []Experiment, s Scale, parallel int) ([]*report.Table, 
 // first error in input order is returned after the in-flight experiments
 // drain; emit is called for every experiment preceding the failure.
 func StreamExperiments(defs []Experiment, s Scale, parallel int, emit func(i int, tbl *report.Table) error) error {
-	if parallel <= 0 {
-		parallel = runtime.GOMAXPROCS(0)
-	}
-	type result struct {
-		tbl *report.Table
-		err error
-	}
-	results := make([]result, len(defs))
-	done := make([]chan struct{}, len(defs))
-	for i := range done {
-		done[i] = make(chan struct{})
-	}
-	sem := make(chan struct{}, parallel)
-	stop := make(chan struct{}) // closed on failure: queued experiments skip running
-	for i, d := range defs {
-		go func(i int, d Experiment) {
-			defer close(done[i])
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			select {
-			case <-stop:
-				return // a predecessor already failed; this result would be discarded
-			default:
+	tables := make([]*report.Table, len(defs))
+	return stream.Ordered(len(defs), parallel,
+		func(i int) error {
+			tbl, err := defs[i].Run(s)
+			if err != nil {
+				return fmt.Errorf("experiment %s failed: %w", defs[i].ID, err)
 			}
-			tbl, err := d.Run(s)
-			results[i] = result{tbl: tbl, err: err}
-		}(i, d)
-	}
-	// drainFrom is called at most once, right before returning an error: it
-	// tells queued experiments not to start and waits out the in-flight ones.
-	drainFrom := func(j int) {
-		close(stop)
-		for ; j < len(defs); j++ {
-			<-done[j]
-		}
-	}
-	for i := range defs {
-		<-done[i]
-		if results[i].err != nil {
-			drainFrom(i + 1)
-			return fmt.Errorf("experiment %s failed: %w", defs[i].ID, results[i].err)
-		}
-		if err := emit(i, results[i].tbl); err != nil {
-			drainFrom(i + 1)
-			return err
-		}
-	}
-	return nil
+			tables[i] = tbl
+			return nil
+		},
+		func(i int) error { return emit(i, tables[i]) })
 }

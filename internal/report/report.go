@@ -1,8 +1,10 @@
-// Package report renders experiment results as aligned ASCII tables and CSV,
-// the two formats the experiment harness (cmd/jabaexp, bench_test.go) emits.
+// Package report renders experiment results as aligned ASCII tables, CSV and
+// JSON — the formats the experiment harness (cmd/jabaexp, bench_test.go) and
+// the sweep harness (cmd/jabasweep) emit.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -89,26 +91,95 @@ func (t *Table) WriteASCII(w io.Writer) error {
 	return err
 }
 
+// CSVLine renders one CSV record with a trailing newline; cells containing
+// commas, quotes or newlines are quoted. It is exported so callers that
+// stream results row by row (cmd/jabasweep) emit exactly what WriteCSV would.
+func CSVLine(cells []string) string {
+	var sb strings.Builder
+	for i, c := range cells {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		sb.WriteString(c)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
 // WriteCSV renders the table as comma-separated values with a header row.
 // Cells containing commas or quotes are quoted.
 func (t *Table) WriteCSV(w io.Writer) error {
 	var sb strings.Builder
-	writeRow := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				sb.WriteByte(',')
-			}
-			if strings.ContainsAny(c, ",\"\n") {
-				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
-			}
-			sb.WriteString(c)
-		}
-		sb.WriteByte('\n')
-	}
-	writeRow(t.Columns)
+	sb.WriteString(CSVLine(t.Columns))
 	for _, row := range t.Rows {
-		writeRow(row)
+		sb.WriteString(CSVLine(row))
 	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteJSON renders the table as a JSON document:
+//
+//	{"title": ..., "columns": [...], "rows": [{"col": "cell", ...}, ...]}
+//
+// Row objects keep the column order of the table (encoding/json would sort
+// map keys, so the objects are written by hand); cell values stay the
+// formatted strings the other writers emit, which keeps the three formats —
+// and therefore determinism checks that diff them — consistent.
+func (t *Table) WriteJSON(w io.Writer) error {
+	var sb strings.Builder
+	writeString := func(s string) error {
+		data, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		sb.Write(data)
+		return nil
+	}
+	sb.WriteString("{\n  \"title\": ")
+	if err := writeString(t.Title); err != nil {
+		return err
+	}
+	sb.WriteString(",\n  \"columns\": [")
+	for i, c := range t.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if err := writeString(c); err != nil {
+			return err
+		}
+	}
+	sb.WriteString("],\n  \"rows\": [")
+	for r, row := range t.Rows {
+		if r > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("\n    {")
+		for i, c := range t.Columns {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			if err := writeString(c); err != nil {
+				return err
+			}
+			sb.WriteString(": ")
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if err := writeString(cell); err != nil {
+				return err
+			}
+		}
+		sb.WriteString("}")
+	}
+	if len(t.Rows) > 0 {
+		sb.WriteString("\n  ")
+	}
+	sb.WriteString("]\n}\n")
 	_, err := io.WriteString(w, sb.String())
 	return err
 }

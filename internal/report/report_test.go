@@ -1,9 +1,56 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	tbl := NewTable("curve", "x", "y")
+	tbl.AddRow("a,b", 1.5)
+	tbl.AddRow("q\"uote", 2)
+	var sb strings.Builder
+	if err := tbl.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string              `json:"title"`
+		Columns []string            `json:"columns"`
+		Rows    []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("WriteJSON emitted invalid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Title != "curve" || len(doc.Columns) != 2 || len(doc.Rows) != 2 {
+		t.Errorf("round trip lost structure: %+v", doc)
+	}
+	if doc.Rows[0]["x"] != "a,b" || doc.Rows[0]["y"] != "1.5" {
+		t.Errorf("row 0 = %v", doc.Rows[0])
+	}
+	if doc.Rows[1]["x"] != "q\"uote" {
+		t.Errorf("quote not escaped: %v", doc.Rows[1])
+	}
+	// Row objects must keep column order (encoding/json cannot check that).
+	raw := sb.String()
+	if x, y := strings.Index(raw, `"x": "a,b"`), strings.Index(raw, `"y": "1.5"`); x < 0 || y < 0 || x > y {
+		t.Errorf("row object lost column order:\n%s", raw)
+	}
+}
+
+func TestWriteJSONEmptyTable(t *testing.T) {
+	tbl := NewTable("empty", "only")
+	var sb strings.Builder
+	if err := tbl.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(sb.String())) {
+		t.Fatalf("empty table JSON invalid:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `"rows": []`) {
+		t.Errorf("empty table should have an empty rows array:\n%s", sb.String())
+	}
+}
 
 func TestTableASCII(t *testing.T) {
 	tb := NewTable("Demo", "scheduler", "delay", "coverage")

@@ -15,56 +15,87 @@ import (
 
 // Preset names accepted by Lookup.
 const (
-	PresetBaseline   = "baseline"    // 19 cells, 10 data users/cell, forward link
-	PresetLight      = "light-load"  // 4 data users per cell
-	PresetHeavy      = "heavy-load"  // 20 data users per cell
-	PresetReverse    = "reverse"     // reverse-link bursts
-	PresetPedestrian = "pedestrian"  // 3 km/h users, low Doppler
-	PresetVehicular  = "vehicular"   // 50-100 km/h users, high Doppler
-	PresetThroughput = "j1-max-tput" // pure throughput objective J1
-	PresetSmoke      = "smoke"       // tiny fast scenario for CI / demos
+	PresetBaseline   = "baseline"
+	PresetLight      = "light-load"
+	PresetHeavy      = "heavy-load"
+	PresetReverse    = "reverse"
+	PresetPedestrian = "pedestrian"
+	PresetVehicular  = "vehicular"
+	PresetThroughput = "j1-max-tput"
+	PresetSmoke      = "smoke"
 )
+
+// preset couples a one-line description with the mutation it applies to the
+// default configuration.
+type preset struct {
+	desc  string
+	apply func(*sim.Config)
+}
+
+// presets is the single source of truth behind Names, Describe and Lookup,
+// so the three can never drift apart.
+var presets = map[string]preset{
+	PresetBaseline: {"19 wrap-around cells, 10 data users/cell, forward link",
+		func(*sim.Config) {}},
+	PresetLight: {"4 data users per cell",
+		func(c *sim.Config) { c.DataUsersPerCell = 4 }},
+	PresetHeavy: {"20 data users per cell",
+		func(c *sim.Config) { c.DataUsersPerCell = 20 }},
+	PresetReverse: {"reverse-link bursts",
+		func(c *sim.Config) { c.Direction = sim.Reverse }},
+	PresetPedestrian: {"~3 km/h users, low Doppler",
+		func(c *sim.Config) {
+			c.MinSpeed, c.MaxSpeed = 0.5, 1.5
+			c.DopplerHz = 6
+		}},
+	PresetVehicular: {"50-100 km/h users, high Doppler",
+		func(c *sim.Config) {
+			c.MinSpeed, c.MaxSpeed = 14, 28
+			c.DopplerHz = 180
+		}},
+	PresetThroughput: {"pure throughput objective J1",
+		func(c *sim.Config) { c.Objective = core.Objective{Kind: core.ObjectiveThroughput} }},
+	PresetSmoke: {"tiny fast scenario for CI / demos",
+		func(c *sim.Config) {
+			c.Rings = 1
+			c.SimTime = 10
+			c.WarmupTime = 2
+			c.DataUsersPerCell = 4
+			c.VoiceUsersPerCell = 4
+			c.Data.MeanReadingTimeSec = 4
+		}},
+}
 
 // Names returns the available preset names in sorted order.
 func Names() []string {
-	out := []string{
-		PresetBaseline, PresetLight, PresetHeavy, PresetReverse,
-		PresetPedestrian, PresetVehicular, PresetThroughput, PresetSmoke,
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Lookup returns the configuration for a named preset.
+// Describe returns the one-line description of a preset, or "" if the name
+// is unknown.
+func Describe(name string) string {
+	if name == "" {
+		name = PresetBaseline
+	}
+	return presets[name].desc
+}
+
+// Lookup returns the configuration for a named preset ("" = baseline).
 func Lookup(name string) (sim.Config, error) {
-	cfg := sim.DefaultConfig()
-	switch name {
-	case PresetBaseline, "":
-		return cfg, nil
-	case PresetLight:
-		cfg.DataUsersPerCell = 4
-	case PresetHeavy:
-		cfg.DataUsersPerCell = 20
-	case PresetReverse:
-		cfg.Direction = sim.Reverse
-	case PresetPedestrian:
-		cfg.MinSpeed, cfg.MaxSpeed = 0.5, 1.5
-		cfg.DopplerHz = 6
-	case PresetVehicular:
-		cfg.MinSpeed, cfg.MaxSpeed = 14, 28
-		cfg.DopplerHz = 180
-	case PresetThroughput:
-		cfg.Objective = core.Objective{Kind: core.ObjectiveThroughput}
-	case PresetSmoke:
-		cfg.Rings = 1
-		cfg.SimTime = 10
-		cfg.WarmupTime = 2
-		cfg.DataUsersPerCell = 4
-		cfg.VoiceUsersPerCell = 4
-		cfg.Data.MeanReadingTimeSec = 4
-	default:
+	if name == "" {
+		name = PresetBaseline
+	}
+	p, ok := presets[name]
+	if !ok {
 		return sim.Config{}, fmt.Errorf("scenario: unknown preset %q (available: %v)", name, Names())
 	}
+	cfg := sim.DefaultConfig()
+	p.apply(&cfg)
 	return cfg, nil
 }
 

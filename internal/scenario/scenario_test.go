@@ -21,6 +21,36 @@ func TestNamesSortedAndComplete(t *testing.T) {
 	}
 }
 
+// TestNamesLookupDescribeShareOneMap asserts the derivation invariant: every
+// name Names() returns resolves via Lookup to a configuration that
+// validates, and carries a description — all three views read the same
+// preset map, so none can drift.
+func TestNamesLookupDescribeShareOneMap(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range Names() {
+		if seen[name] {
+			t.Errorf("duplicate preset name %q", name)
+		}
+		seen[name] = true
+		cfg, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Names() lists %q but Lookup rejects it: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %q does not validate: %v", name, err)
+		}
+		if Describe(name) == "" {
+			t.Errorf("preset %q has no description", name)
+		}
+	}
+	if Describe("") != Describe(PresetBaseline) {
+		t.Error("empty name should describe the baseline")
+	}
+	if Describe("no-such-preset") != "" {
+		t.Error("unknown preset should have no description")
+	}
+}
+
 func TestLookupAllPresetsValid(t *testing.T) {
 	for _, name := range Names() {
 		cfg, err := Lookup(name)

@@ -2,8 +2,8 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"jabasd/internal/stream"
 )
 
 // RunReplications runs n independent replications of the scenario in
@@ -11,6 +11,13 @@ import (
 // uses seed cfg.Seed + i, so results are reproducible for a given base seed
 // regardless of scheduling.
 func RunReplications(cfg Config, n int) (*Aggregate, error) {
+	return runReplications(cfg, n, Run)
+}
+
+// runReplications is RunReplications with the per-replication runner
+// injectable, so tests can exercise the failure path without needing a
+// configuration that validates but crashes mid-simulation.
+func runReplications(cfg Config, n int, runOne func(Config) (*Metrics, error)) (*Aggregate, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("sim: need at least one replication, got %d", n)
 	}
@@ -18,45 +25,27 @@ func RunReplications(cfg Config, n int) (*Aggregate, error) {
 		return nil, err
 	}
 
-	type result struct {
-		idx int
-		m   *Metrics
-		err error
-	}
-	results := make([]result, n)
-	sem := make(chan struct{}, maxParallel())
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+	ms := make([]*Metrics, n)
+	agg := &Aggregate{}
+	err := stream.Ordered(n, 0,
+		func(i int) error {
 			repCfg := cfg
 			repCfg.Seed = cfg.Seed + uint64(i)
-			m, err := Run(repCfg)
-			results[i] = result{idx: i, m: m, err: err}
-		}(i)
-	}
-	wg.Wait()
-
-	agg := &Aggregate{}
-	for _, r := range results {
-		if r.err != nil {
-			return nil, fmt.Errorf("sim: replication %d failed: %w", r.idx, r.err)
-		}
-		agg.AddReplication(r.m)
+			m, err := runOne(repCfg)
+			if err != nil {
+				return fmt.Errorf("sim: replication %d failed: %w", i, err)
+			}
+			ms[i] = m
+			return nil
+		},
+		func(i int) error {
+			agg.AddReplication(ms[i])
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return agg, nil
-}
-
-// maxParallel bounds the replication fan-out.
-func maxParallel() int {
-	p := runtime.GOMAXPROCS(0)
-	if p < 1 {
-		p = 1
-	}
-	return p
 }
 
 // CompareSchedulers runs the same scenario (same seeds, so common random

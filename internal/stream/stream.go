@@ -1,0 +1,65 @@
+// Package stream provides the bounded-parallel, order-preserving task
+// runner shared by the experiment suite (internal/experiments), the
+// replication fan-out (internal/sim) and the parameter-sweep harness
+// (internal/sweep). Tasks run concurrently on a worker pool but their
+// results are emitted strictly in input order as soon as each task and all
+// of its predecessors have finished, so a caller that prints or persists
+// results incrementally keeps everything completed before a failure.
+package stream
+
+import "runtime"
+
+// Ordered runs n tasks concurrently with at most parallel of them in flight
+// at once (<= 0 means GOMAXPROCS) and calls emit(i) in input order as soon
+// as task i and every task before it have finished.
+//
+// run(i) computes the i-th result and stores it somewhere the caller owns
+// (typically a slice indexed by i); emit(i) consumes it. The first error in
+// input order — from run or emit — is returned after the in-flight tasks
+// drain; queued tasks that have not started yet are skipped, and emit is
+// called for every task preceding the failure but none after it.
+func Ordered(n, parallel int, run func(i int) error, emit func(i int) error) error {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	errs := make([]error, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, parallel)
+	stop := make(chan struct{}) // closed on failure: queued tasks skip running
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer close(done[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			select {
+			case <-stop:
+				return // a predecessor already failed; this result would be discarded
+			default:
+			}
+			errs[i] = run(i)
+		}(i)
+	}
+	// drainFrom is called at most once, right before returning an error: it
+	// tells queued tasks not to start and waits out the in-flight ones.
+	drainFrom := func(j int) {
+		close(stop)
+		for ; j < n; j++ {
+			<-done[j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		<-done[i]
+		if errs[i] != nil {
+			drainFrom(i + 1)
+			return errs[i]
+		}
+		if err := emit(i); err != nil {
+			drainFrom(i + 1)
+			return err
+		}
+	}
+	return nil
+}

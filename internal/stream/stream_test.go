@@ -1,0 +1,143 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestOrderedEmitsInInputOrder(t *testing.T) {
+	const n = 50
+	results := make([]int, n)
+	var emitted []int
+	err := Ordered(n, 8,
+		func(i int) error {
+			// Finish in roughly reverse order to stress the reordering.
+			time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+			results[i] = i * i
+			return nil
+		},
+		func(i int) error {
+			emitted = append(emitted, i)
+			if results[i] != i*i {
+				t.Errorf("emit %d before its result was stored", i)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != n {
+		t.Fatalf("emitted %d of %d", len(emitted), n)
+	}
+	for i, got := range emitted {
+		if got != i {
+			t.Fatalf("emit order broken at %d: got %d", i, got)
+		}
+	}
+}
+
+func TestOrderedBoundsParallelism(t *testing.T) {
+	const n, bound = 40, 3
+	var inFlight, peak atomic.Int64
+	err := Ordered(n, bound,
+		func(i int) error {
+			cur := inFlight.Add(1)
+			defer inFlight.Add(-1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+			return nil
+		},
+		func(int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > bound {
+		t.Errorf("peak in-flight %d exceeds bound %d", got, bound)
+	}
+}
+
+func TestOrderedFirstErrorInInputOrder(t *testing.T) {
+	boom := errors.New("boom")
+	var emitted []int
+	err := Ordered(10, 4,
+		func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("task %d: %w", i, boom)
+			}
+			return nil
+		},
+		func(i int) error {
+			emitted = append(emitted, i)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if err.Error() != "task 3: boom" {
+		t.Errorf("want the first failure in input order, got %q", err)
+	}
+	// Everything before the failure must have been emitted, nothing after.
+	want := []int{0, 1, 2}
+	if len(emitted) != len(want) {
+		t.Fatalf("emitted %v, want %v", emitted, want)
+	}
+	for i, got := range emitted {
+		if got != want[i] {
+			t.Fatalf("emitted %v, want %v", emitted, want)
+		}
+	}
+}
+
+func TestOrderedEmitErrorStops(t *testing.T) {
+	stop := errors.New("stop")
+	var emitted []int
+	err := Ordered(20, 1,
+		func(i int) error { return nil },
+		func(i int) error {
+			emitted = append(emitted, i)
+			if i == 2 {
+				return stop
+			}
+			return nil
+		})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want stop", err)
+	}
+	if len(emitted) != 3 || emitted[2] != 2 {
+		t.Errorf("emitted %v, want exactly [0 1 2]", emitted)
+	}
+}
+
+func TestOrderedZeroTasks(t *testing.T) {
+	if err := Ordered(0, 4, func(int) error { return nil }, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedDefaultParallel(t *testing.T) {
+	var mu sync.Mutex
+	var order []int
+	err := Ordered(5, 0,
+		func(i int) error { return nil },
+		func(i int) error {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 5 {
+		t.Fatalf("emitted %d of 5", len(order))
+	}
+}

@@ -1,0 +1,66 @@
+package sweep
+
+import (
+	"fmt"
+
+	"jabasd/internal/scenario"
+	"jabasd/internal/sim"
+)
+
+// Grids returns the built-in named grids, in display order.
+func Grids() []Grid {
+	return []Grid{
+		{
+			// paper-load-sweep reproduces the paper's headline load axis:
+			// admission probability / throughput / outage versus offered load
+			// (4 → 24 data users per cell) for all five scheduler kinds on
+			// both links — 60 points anchored on the baseline scenario.
+			Name:   "paper-load-sweep",
+			Preset: scenario.PresetBaseline,
+			Axes: []Axis{
+				{Name: "datausers", Values: []string{"4", "8", "12", "16", "20", "24"}},
+				{Name: "scheduler", Values: []string{
+					string(sim.SchedulerJABASD),
+					string(sim.SchedulerGreedy),
+					string(sim.SchedulerFCFS),
+					string(sim.SchedulerEqualShare),
+					string(sim.SchedulerRandom),
+				}},
+				{Name: "direction", Values: []string{"forward", "reverse"}},
+			},
+		},
+		{
+			// mobility-sweep crosses pedestrian-to-vehicular speeds with the
+			// exact and greedy schedulers on the baseline load.
+			Name:   "mobility-sweep",
+			Preset: scenario.PresetBaseline,
+			Axes: []Axis{
+				{Name: "speed", Values: []string{"0.5:1.5", "1:14", "14:28"}},
+				{Name: "scheduler", Values: []string{
+					string(sim.SchedulerJABASD),
+					string(sim.SchedulerGreedy),
+				}},
+			},
+		},
+	}
+}
+
+// GridNames returns the built-in grid names in display order.
+func GridNames() []string {
+	defs := Grids()
+	out := make([]string, len(defs))
+	for i, g := range defs {
+		out[i] = g.Name
+	}
+	return out
+}
+
+// LookupGrid finds a built-in grid by name.
+func LookupGrid(name string) (Grid, error) {
+	for _, g := range Grids() {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return Grid{}, fmt.Errorf("sweep: unknown grid %q (available: %v)", name, GridNames())
+}

@@ -1,0 +1,111 @@
+package sweep
+
+import (
+	"fmt"
+
+	"jabasd/internal/sim"
+	"jabasd/internal/stream"
+)
+
+// Options controls a sweep run.
+type Options struct {
+	// Reps is the number of independent replications per grid point
+	// (default 1). Replication r of point p uses seed
+	// base + p*Reps + r, the sim.RunReplications scheme extended with a
+	// per-point offset, so results depend only on the indices.
+	Reps int
+	// Parallel bounds the number of (point × replication) work items in
+	// flight at once; <= 0 means GOMAXPROCS. It never affects the results.
+	Parallel int
+	// BaseSeed overrides the preset's base seed when non-zero.
+	BaseSeed uint64
+	// Mutate, when set, is applied to every point's configuration before
+	// seeding and running — CI and tests use it to shrink simulated time.
+	Mutate func(*sim.Config)
+}
+
+// Result is one completed grid point: the point plus the across-replication
+// aggregate (one observation per replication, CIs via internal/stats).
+type Result struct {
+	Point
+	Agg *sim.Aggregate
+}
+
+// Run expands the grid and runs every point, returning the results in grid
+// order. See Stream for the execution model.
+func Run(g Grid, opts Options) ([]Result, error) {
+	var out []Result
+	err := Stream(g, opts, func(r Result) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream expands the grid into points, fans the (point × replication) work
+// items out over a worker pool of size opts.Parallel and calls emit once per
+// point, in grid order, as soon as the point's replications and every
+// earlier point have finished. Emitting incrementally means a failure late
+// in a long sweep keeps everything completed before it. For a fixed base
+// seed the emitted results are identical regardless of opts.Parallel.
+func Stream(g Grid, opts Options, emit func(Result) error) error {
+	points, err := g.Points()
+	if err != nil {
+		return err
+	}
+	reps := opts.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+
+	// Freeze every point's final configuration (mutation + seed) up front so
+	// the work items are pure functions of their indices.
+	cfgs := make([]sim.Config, len(points))
+	for i, p := range points {
+		cfg := p.Config
+		if opts.Mutate != nil {
+			opts.Mutate(&cfg)
+		}
+		if opts.BaseSeed != 0 {
+			cfg.Seed = opts.BaseSeed
+		}
+		cfg.Seed += uint64(i) * uint64(reps)
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("sweep: point %d (%s): %w", i, p.Label(), err)
+		}
+		cfgs[i] = cfg
+		points[i].Config = cfg
+	}
+
+	n := len(points) * reps
+	metrics := make([]*sim.Metrics, n)
+	aggs := make([]*sim.Aggregate, len(points))
+	return stream.Ordered(n, opts.Parallel,
+		func(item int) error {
+			p, r := item/reps, item%reps
+			cfg := cfgs[p]
+			cfg.Seed += uint64(r)
+			m, err := sim.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("sweep: point %d (%s) replication %d: %w",
+					p, points[p].Label(), r, err)
+			}
+			metrics[item] = m
+			return nil
+		},
+		func(item int) error {
+			p, r := item/reps, item%reps
+			if aggs[p] == nil {
+				aggs[p] = &sim.Aggregate{}
+			}
+			aggs[p].AddReplication(metrics[item])
+			metrics[item] = nil // release the replication's samples
+			if r == reps-1 {
+				return emit(Result{Point: points[p], Agg: aggs[p]})
+			}
+			return nil
+		})
+}
