@@ -327,3 +327,58 @@ func syntheticProblem(nd, cells int, seed uint64) core.Problem {
 		Objective: core.DefaultObjective(),
 	}
 }
+
+// BenchmarkSnapshotFrameAdmission measures the tentpole of the snapshot
+// frame mode: the whole frame loop (measurement, admission, service) on the
+// contended scenarios, sequential vs snapshot at 1 and 8 solve workers.
+// snapshot-1 vs sequential isolates the semantic change (it should be cost
+// neutral); snapshot-8 vs snapshot-1 is the multicore win from fanning the
+// per-cell region builds and ILP solves (plus the per-user measurement
+// updates) out over the pool.
+func BenchmarkSnapshotFrameAdmission(b *testing.B) {
+	heavy := sim.DefaultConfig()
+	heavy.SimTime = 2
+	heavy.WarmupTime = 0.5
+	heavy.DataUsersPerCell = 20 // the heavy-load preset's density, 19 cells
+
+	metro := sim.DefaultConfig()
+	metro.Rings = 3 // 37 cells
+	metro.CellRadius = 600
+	metro.DataUsersPerCell = 30
+	metro.VoiceUsersPerCell = 12
+	metro.SimTime = 1
+	metro.WarmupTime = 0.25
+
+	scenarios := []struct {
+		name string
+		cfg  sim.Config
+	}{{"heavy-load", heavy}, {"metro", metro}}
+	for _, sc := range scenarios {
+		if testing.Short() && sc.name == "metro" {
+			continue
+		}
+		modes := []struct {
+			name     string
+			mode     sim.FrameMode
+			parallel int
+		}{
+			{"sequential", sim.FrameSequential, 0},
+			{"snapshot-1", sim.FrameSnapshot, 1},
+			{"snapshot-8", sim.FrameSnapshot, 8},
+		}
+		for _, md := range modes {
+			b.Run(sc.name+"/"+md.name, func(b *testing.B) {
+				cfg := sc.cfg
+				cfg.FrameMode = md.mode
+				cfg.FrameParallel = md.parallel
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					cfg.Seed = uint64(i + 1)
+					if _, err := sim.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -41,6 +41,8 @@ func run(args []string) error {
 		simTime     = fs.Float64("sim-time", -1, "simulated seconds (override)")
 		seed        = fs.Uint64("seed", 0, "base random seed (override when non-zero)")
 		reps        = fs.Int("reps", 1, "independent replications (parallel)")
+		frameMode   = fs.String("framemode", "", "frame admission mode: sequential or snapshot (default: scenario's)")
+		framePar    = fs.Int("frameparallel", -1, "snapshot-mode solve workers: 0 = auto (GOMAXPROCS, but inline under a parallel reps/sweep fan-out), 1 = inline, -1 keeps the scenario's")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +85,19 @@ func run(args []string) error {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	switch *frameMode {
+	case "":
+	case string(sim.FrameSequential), string(sim.FrameSnapshot):
+		cfg.FrameMode = sim.FrameMode(*frameMode)
+	default:
+		return fmt.Errorf("unknown frame mode %q (want %s or %s)", *frameMode, sim.FrameSequential, sim.FrameSnapshot)
+	}
+	if *framePar != -1 {
+		if *framePar < 0 {
+			return fmt.Errorf("-frameparallel must be >= 0 (or -1 to keep the scenario's), got %d", *framePar)
+		}
+		cfg.FrameParallel = *framePar
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -115,7 +130,18 @@ func run(args []string) error {
 	fmt.Printf("  coverage          : %.3f\n", agg.Coverage.Mean())
 	fmt.Printf("  mean cell load    : %.3f\n", agg.CellLoad.Mean())
 	fmt.Printf("  completion ratio  : %.3f\n", agg.CompletionRate.Mean())
+	printSkippedCells(agg.SkippedCells.Mean())
 	return nil
+}
+
+// printSkippedCells surfaces the abandoned cell-frame count (mean across
+// replications for aggregates); non-zero means the scenario is feeding the
+// admission layer inconsistent measurements, which deserves a loud flag.
+func printSkippedCells(count float64) {
+	fmt.Printf("  skipped cell-frames: %g\n", count)
+	if count > 0 {
+		fmt.Println("  WARNING: admission skipped cells; the scenario is feeding the admission layer inconsistent measurements")
+	}
 }
 
 func printMetrics(m *sim.Metrics) {
@@ -130,4 +156,5 @@ func printMetrics(m *sim.Metrics) {
 	fmt.Printf("  mean cell load    : %.3f\n", m.CellLoad.Mean())
 	fmt.Printf("  mean queue length : %.2f\n", m.QueueLength.Mean())
 	fmt.Printf("  mean granted ratio: %.2f\n", m.AssignedRatio.Mean())
+	printSkippedCells(float64(m.SkippedCells))
 }

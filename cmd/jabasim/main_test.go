@@ -73,3 +73,24 @@ func TestRunFromConfigFile(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunFrameModeOverride(t *testing.T) {
+	args := []string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2"}
+	if err := run(append(args, "-framemode", "snapshot", "-frameparallel", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-framemode", "sequential")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-preset", "metro", "-dump-config"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-framemode", "warp")); err == nil {
+		t.Error("unknown frame mode should fail")
+	}
+	if err := run(append(args, "-framemode", "snapshot", "-frameparallel", "-2")); err == nil {
+		// -2 passes the flag's "keep scenario" sentinel of -1, so it must
+		// reach Validate and be rejected there.
+		t.Error("negative FrameParallel should fail validation")
+	}
+}

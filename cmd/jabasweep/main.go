@@ -26,6 +26,7 @@ import (
 
 	"jabasd/internal/report"
 	"jabasd/internal/scenario"
+	"jabasd/internal/sim"
 	"jabasd/internal/sweep"
 )
 
@@ -56,6 +57,8 @@ func run(args []string, stdout io.Writer) error {
 		reps       = fs.Int("reps", 1, "independent replications per grid point")
 		parallel   = fs.Int("parallel", 0, "max concurrent (point x replication) work items (0 = GOMAXPROCS)")
 		seed       = fs.Uint64("seed", 0, "base random seed (0 keeps the preset's)")
+		frameMode  = fs.String("framemode", "", "frame admission mode override for every point: sequential or snapshot")
+		framePar   = fs.Int("frameparallel", -1, "per-run snapshot solve workers override: 0 = auto (GOMAXPROCS, but inline under a parallel reps/sweep fan-out), 1 = inline, -1 keeps each point's")
 		format     = fs.String("format", "csv", "output format: csv or json")
 		outPath    = fs.String("o", "", "output file (default stdout)")
 		dryRun     = fs.Bool("points", false, "list the expanded grid points and exit (dry run)")
@@ -67,6 +70,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *format != "csv" && *format != "json" {
 		return fmt.Errorf("unknown format %q (want csv or json)", *format)
+	}
+	switch *frameMode {
+	case "", string(sim.FrameSequential), string(sim.FrameSnapshot):
+	default:
+		return fmt.Errorf("unknown frame mode %q (want %s or %s)", *frameMode, sim.FrameSequential, sim.FrameSnapshot)
+	}
+	if *framePar < -1 {
+		return fmt.Errorf("-frameparallel must be >= 0 (or -1 to keep each point's), got %d", *framePar)
 	}
 
 	if *listAxes {
@@ -100,6 +111,16 @@ func run(args []string, stdout io.Writer) error {
 	grid, err := selectGrid(*gridName, *presetName, presetSet, axes)
 	if err != nil {
 		return err
+	}
+	if *frameMode != "" {
+		// Options.Mutate runs after the axis values are baked into each
+		// point, so a flag override would silently clobber a framemode axis
+		// and mislabel its rows; refuse the combination instead.
+		for _, ax := range grid.Axes {
+			if ax.Name == "framemode" {
+				return fmt.Errorf("-framemode conflicts with the framemode axis; drop one")
+			}
+		}
 	}
 
 	if *dryRun {
@@ -140,6 +161,16 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	opts := sweep.Options{Reps: *reps, Parallel: *parallel, BaseSeed: *seed}
+	if *frameMode != "" || *framePar >= 0 {
+		opts.Mutate = func(c *sim.Config) {
+			if *frameMode != "" {
+				c.FrameMode = sim.FrameMode(*frameMode)
+			}
+			if *framePar >= 0 {
+				c.FrameParallel = *framePar
+			}
+		}
+	}
 	err = sweep.Stream(grid, opts, func(r sweep.Result) error {
 		fmt.Fprintf(os.Stderr, "point %d/%s done (%d reps)\n", r.Index, r.Label(), r.Agg.Replications)
 		row := sweep.AppendCurveRow(tbl, r)

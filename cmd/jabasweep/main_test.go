@@ -121,3 +121,40 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepSnapshotModeDeterministicAcrossFrameParallel is the frame-mode
+// determinism gate the CI job scripts: snapshot-mode sweeps must emit
+// byte-identical CSV whatever -frameparallel is.
+func TestSweepSnapshotModeDeterministicAcrossFrameParallel(t *testing.T) {
+	base := []string{"-preset", "smoke", "-axis", "datausers=2,4", "-reps", "2", "-framemode", "snapshot"}
+	inline := capture(t, append(base, "-frameparallel", "1")...)
+	pooled := capture(t, append(base, "-frameparallel", "8")...)
+	if inline != pooled {
+		t.Errorf("snapshot CSV depends on -frameparallel:\n--- 1\n%s--- 8\n%s", inline, pooled)
+	}
+	if !strings.HasPrefix(inline, "datausers,reps,admission_prob") {
+		t.Errorf("unexpected CSV header in %q", inline)
+	}
+}
+
+func TestSweepFrameModeAxisAndFlagValidation(t *testing.T) {
+	out := capture(t, "-preset", "smoke", "-axis", "framemode=sequential,snapshot", "-points")
+	if !strings.Contains(out, "framemode=sequential") || !strings.Contains(out, "framemode=snapshot") {
+		t.Errorf("framemode axis did not expand:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-preset", "smoke", "-framemode", "warp"}, &buf); err == nil {
+		t.Error("unknown -framemode should fail")
+	}
+}
+
+func TestFrameModeFlagConflictsWithFrameModeAxis(t *testing.T) {
+	// The flag override runs after axis values are applied, so combining it
+	// with a framemode axis would mislabel rows; it must be rejected.
+	var buf bytes.Buffer
+	err := run([]string{"-preset", "smoke", "-axis", "framemode=sequential,snapshot",
+		"-framemode", "snapshot", "-points"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "framemode") {
+		t.Errorf("expected a framemode conflict error, got %v", err)
+	}
+}

@@ -10,12 +10,42 @@ import (
 
 // Scheduler is a scheduling sub-layer algorithm: given a frame's admission
 // problem it returns an admissible assignment of spreading ratios.
+//
+// Schedule must not retain the problem or mutate anything outside the
+// scheduler's own state: the simulation engine's snapshot frame mode solves
+// many cells' problems concurrently, one scheduler instance per worker (see
+// Cloner). A scheduler whose output depends on internal mutable state — a
+// random stream, warm-started solver memory — must additionally implement
+// CellSeeder so its draws are a pure function of (frame, cell) rather than
+// of the order the workers happen to solve cells in.
 type Scheduler interface {
 	// Name identifies the scheduler in reports.
 	Name() string
 	// Schedule solves one frame. Implementations must return an assignment
 	// that satisfies the problem's admissible region and upper bounds.
 	Schedule(p Problem) (Assignment, error)
+}
+
+// Cloner is implemented by schedulers that can hand out independent
+// instances of themselves, one per frame-admission worker. Stateless
+// schedulers return a plain copy; stateful ones must return an instance
+// whose state is disjoint from the receiver's. The engine refuses to run
+// the snapshot frame mode with a scheduler that does not implement Cloner
+// (enforced in sim.NewEngine and by TestAllSchedulersImplementCloner).
+type Cloner interface {
+	Scheduler
+	// Clone returns an independent scheduler instance with the same
+	// configuration.
+	Clone() Scheduler
+}
+
+// CellSeeder is implemented by schedulers with internal randomness. Before
+// solving cell k of frame f in snapshot mode, the engine calls
+// SeedCell(f, k) on the worker's clone, making the scheduler's draws depend
+// only on the (frame, cell) pair — and therefore the simulation output
+// byte-identical for any worker count and any cell→worker assignment.
+type CellSeeder interface {
+	SeedCell(frame, cell uint64)
 }
 
 // ErrInvalidProblem wraps validation failures.
@@ -44,6 +74,13 @@ func NewJABASD() *JABASD { return &JABASD{GreedyFallbackSize: 12} }
 
 // Name implements Scheduler.
 func (s *JABASD) Name() string { return "JABA-SD" }
+
+// Clone implements Cloner. JABASD keeps no per-frame state, so a copy of the
+// configuration is a fully independent instance.
+func (s *JABASD) Clone() Scheduler {
+	c := *s
+	return &c
+}
 
 // Schedule implements Scheduler.
 func (s *JABASD) Schedule(p Problem) (Assignment, error) {
@@ -98,6 +135,9 @@ type GreedyJABASD struct{}
 
 // Name implements Scheduler.
 func (s *GreedyJABASD) Name() string { return "JABA-SD-greedy" }
+
+// Clone implements Cloner.
+func (s *GreedyJABASD) Clone() Scheduler { return &GreedyJABASD{} }
 
 // Schedule implements Scheduler.
 func (s *GreedyJABASD) Schedule(p Problem) (Assignment, error) {
@@ -222,6 +262,9 @@ type FCFS struct{}
 // Name implements Scheduler.
 func (s *FCFS) Name() string { return "FCFS" }
 
+// Clone implements Cloner.
+func (s *FCFS) Clone() Scheduler { return &FCFS{} }
+
 // Schedule implements Scheduler.
 func (s *FCFS) Schedule(p Problem) (Assignment, error) {
 	if err := p.Validate(); err != nil {
@@ -280,6 +323,9 @@ type EqualShare struct{}
 // Name implements Scheduler.
 func (s *EqualShare) Name() string { return "EqualShare" }
 
+// Clone implements Cloner.
+func (s *EqualShare) Clone() Scheduler { return &EqualShare{} }
+
 // Schedule implements Scheduler.
 func (s *EqualShare) Schedule(p Problem) (Assignment, error) {
 	if err := p.Validate(); err != nil {
@@ -323,15 +369,36 @@ func (s *EqualShare) Schedule(p Problem) (Assignment, error) {
 
 // Random grants requests in a uniformly random order, each taking the
 // largest admissible ratio; useful as a sanity floor in the experiments.
+// In sequential frame admission it consumes one stream in cell order; under
+// the snapshot frame mode the engine reseeds each clone per (frame, cell)
+// via SeedCell, so the permutations do not depend on worker scheduling.
 type Random struct {
-	Src *rng.Source
+	Src  *rng.Source
+	seed uint64
 }
 
 // NewRandom creates a Random scheduler with its own stream.
-func NewRandom(seed uint64) *Random { return &Random{Src: rng.New(seed)} }
+func NewRandom(seed uint64) *Random { return &Random{Src: rng.New(seed), seed: seed} }
 
 // Name implements Scheduler.
 func (s *Random) Name() string { return "Random" }
+
+// Clone implements Cloner. The clone starts from the same base seed but owns
+// its stream; snapshot-mode workers always reseed it per cell before use.
+func (s *Random) Clone() Scheduler { return NewRandom(s.seed) }
+
+// SeedCell implements CellSeeder: the stream is re-derived in place from the
+// base seed and the (frame, cell) pair, so the subsequent permutation is a
+// pure function of those indices.
+func (s *Random) SeedCell(frame, cell uint64) {
+	if s.Src == nil {
+		s.Src = rng.New(s.seed)
+	}
+	// Decorrelate the three inputs with distinct 64-bit odd multipliers
+	// (splitmix64/Weyl constants) before handing them to the generator's
+	// own seed expander.
+	s.Src.Reseed(s.seed ^ (frame+1)*0x9e3779b97f4a7c15 ^ (cell+1)*0xbf58476d1ce4e5b9)
+}
 
 // Schedule implements Scheduler.
 func (s *Random) Schedule(p Problem) (Assignment, error) {
@@ -377,9 +444,10 @@ func (s *Random) Schedule(p Problem) (Assignment, error) {
 }
 
 var (
-	_ Scheduler = (*JABASD)(nil)
-	_ Scheduler = (*GreedyJABASD)(nil)
-	_ Scheduler = (*FCFS)(nil)
-	_ Scheduler = (*EqualShare)(nil)
-	_ Scheduler = (*Random)(nil)
+	_ Cloner     = (*JABASD)(nil)
+	_ Cloner     = (*GreedyJABASD)(nil)
+	_ Cloner     = (*FCFS)(nil)
+	_ Cloner     = (*EqualShare)(nil)
+	_ Cloner     = (*Random)(nil)
+	_ CellSeeder = (*Random)(nil)
 )

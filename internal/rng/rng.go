@@ -34,15 +34,24 @@ func splitmix64(state *uint64) uint64 {
 // New returns a Source seeded deterministically from seed.
 func New(seed uint64) *Source {
 	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed resets the source in place to exactly the state New(seed) produces,
+// discarding any cached Gaussian spare. It lets long-lived sources (e.g. a
+// per-worker scheduler stream) be re-derived per task without allocating.
+func (r *Source) Reseed(seed uint64) {
 	st := seed
-	for i := range src.s {
-		src.s[i] = splitmix64(&st)
+	for i := range r.s {
+		r.s[i] = splitmix64(&st)
 	}
 	// Avoid the (astronomically unlikely) all-zero state.
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = 0x9e3779b97f4a7c15
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
+	r.spare = 0
+	r.hasSpare = false
 }
 
 // Split derives an independent child stream from the parent. The child's

@@ -23,6 +23,7 @@ const (
 	PresetVehicular  = "vehicular"
 	PresetThroughput = "j1-max-tput"
 	PresetSmoke      = "smoke"
+	PresetMetro      = "metro"
 )
 
 // preset couples a one-line description with the mutation it applies to the
@@ -55,6 +56,18 @@ var presets = map[string]preset{
 		}},
 	PresetThroughput: {"pure throughput objective J1",
 		func(c *sim.Config) { c.Objective = core.Objective{Kind: core.ObjectiveThroughput} }},
+	PresetMetro: {"37 wrap-around cells, 30 data users/cell, snapshot-parallel frames",
+		func(c *sim.Config) {
+			// A metropolitan deployment: 3 hexagonal rings (37 cells) at
+			// urban density. Only tractable with the snapshot frame mode,
+			// where the 37 per-cell ILP solves of every frame fan out over
+			// the worker pool instead of running back to back.
+			c.Rings = 3
+			c.CellRadius = 600
+			c.DataUsersPerCell = 30
+			c.VoiceUsersPerCell = 12
+			c.FrameMode = sim.FrameSnapshot
+		}},
 	PresetSmoke: {"tiny fast scenario for CI / demos",
 		func(c *sim.Config) {
 			c.Rings = 1

@@ -11,8 +11,8 @@ import (
 
 func TestNamesSortedAndComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 8 {
-		t.Fatalf("expected 8 presets, got %d", len(names))
+	if len(names) != 9 {
+		t.Fatalf("expected 9 presets, got %d", len(names))
 	}
 	for i := 1; i < len(names); i++ {
 		if names[i-1] > names[i] {
@@ -82,6 +82,19 @@ func TestPresetDifferences(t *testing.T) {
 	}
 	if rev.Direction != sim.Reverse {
 		t.Error("reverse preset should set reverse direction")
+	}
+	metro, _ := Lookup(PresetMetro)
+	if metro.Rings != 3 {
+		t.Errorf("metro preset rings = %d, want 3 (37 cells)", metro.Rings)
+	}
+	if metro.DataUsersPerCell < 30 {
+		t.Errorf("metro preset data users = %d, want >= 30", metro.DataUsersPerCell)
+	}
+	if metro.FrameMode != sim.FrameSnapshot {
+		t.Error("metro preset should use the snapshot frame mode")
+	}
+	if !metro.WrapAround {
+		t.Error("metro preset should wrap around")
 	}
 }
 

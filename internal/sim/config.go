@@ -38,6 +38,33 @@ func (d Direction) String() string {
 	return "forward"
 }
 
+// FrameMode selects how the per-frame burst admission fans out over cells.
+type FrameMode string
+
+const (
+	// FrameSequential is the legacy mode: cells run their measurement and
+	// scheduling sub-layers one after another in cell-index order, each cell
+	// seeing the load the grants of lower-numbered cells added earlier in
+	// the same frame. The empty string means FrameSequential.
+	FrameSequential FrameMode = "sequential"
+	// FrameSnapshot is the paper-faithful mode: every cell builds its
+	// admissible region and solves its scheduler ILP against the immutable
+	// frame-start load ledger (the previous frame's measurements), and the
+	// resulting grants are committed in cell-index order afterwards. The
+	// solve phase fans out over FrameParallel workers; because no cell's
+	// solution depends on another cell's grant within the frame, the output
+	// is byte-identical for any worker count.
+	FrameSnapshot FrameMode = "snapshot"
+)
+
+// normalize maps the empty mode to FrameSequential.
+func (m FrameMode) normalize() FrameMode {
+	if m == "" {
+		return FrameSequential
+	}
+	return m
+}
+
 // SchedulerKind selects the scheduling sub-layer algorithm.
 type SchedulerKind string
 
@@ -120,6 +147,18 @@ type Config struct {
 	Objective        core.Objective
 	MAC              mac.Config
 	MinBurstDuration float64 // T_l of equation (24), seconds
+
+	// FrameMode selects sequential (legacy, intra-frame coupled) or
+	// snapshot (paper-faithful, intra-frame independent) admission; empty
+	// means sequential.
+	FrameMode FrameMode
+	// FrameParallel bounds the snapshot-mode solve-phase workers: 1 runs
+	// the phase inline without a pool, larger values size the pool, and 0
+	// means auto — GOMAXPROCS for a single run, but inline when an outer
+	// replication/sweep fan-out already saturates the CPUs (see
+	// ResolveFrameParallel). It never affects the results and is ignored
+	// in sequential mode.
+	FrameParallel int
 
 	// Coverage accounting: a completed burst counts as "covered" when its
 	// average served rate meets this fraction of the FCH rate.
@@ -218,6 +257,15 @@ func (c Config) Validate() error {
 	}
 	if _, err := NewScheduler(c.Scheduler, c.Seed); err != nil {
 		return err
+	}
+	switch c.FrameMode.normalize() {
+	case FrameSequential, FrameSnapshot:
+	default:
+		return fmt.Errorf("sim: unknown frame mode %q (want %q or %q)",
+			c.FrameMode, FrameSequential, FrameSnapshot)
+	}
+	if c.FrameParallel < 0 {
+		return errors.New("sim: FrameParallel must be >= 0")
 	}
 	if c.UseFixedRatePHY && (c.FixedRateMode < 1 || c.FixedRateMode > c.VTAOC.NumModes) {
 		return errors.New("sim: FixedRateMode out of range")

@@ -13,6 +13,7 @@ import (
 	"jabasd/internal/measurement"
 	"jabasd/internal/mobility"
 	"jabasd/internal/rng"
+	"jabasd/internal/stream"
 	"jabasd/internal/traffic"
 	"jabasd/internal/vtaoc"
 )
@@ -107,21 +108,55 @@ type Engine struct {
 	// the configured direction. Allocated once, refilled every frame.
 	loads *load.Ledger
 
-	// regionB reuses the admissible-region row storage across frames.
+	// regionB reuses the admissible-region row storage across frames
+	// (sequential mode; snapshot workers carry their own builders).
 	regionB measurement.RegionBuilder
 
 	// admitScratch holds the per-cell admission working set, reused across
 	// cells and frames so the admission loop does not allocate.
-	admitScratch struct {
-		items []*traffic.BurstRequest
-		reqs  []core.Request
-		users []*dataUser
-		fwd   []measurement.ForwardRequest
-		rev   []measurement.ReverseRequest
-	}
+	admitScratch admitScratch
+
+	// Snapshot frame mode state, nil/empty in sequential mode: the solve
+	// phase's worker pool (nil when FrameParallel == 1), the per-worker
+	// scratch, and the per-frame active-cell and grant buffers.
+	pool    *stream.Pool
+	workers []*frameWorker
+	active  []int
+	grants  []cellGrants
 
 	metrics *Metrics
 	now     float64
+	frame   int
+}
+
+// admitScratch is one admission worker's per-cell working set: the queue
+// snapshot, the scheduler requests and the direction-specific measurement
+// attachments. It is reused across cells and frames.
+type admitScratch struct {
+	items []*traffic.BurstRequest
+	reqs  []core.Request
+	users []*dataUser
+	fwd   []measurement.ForwardRequest
+	rev   []measurement.ReverseRequest
+}
+
+// frameWorker owns the mutable state one snapshot-phase worker needs so the
+// concurrent solves never share anything: scratch buffers, a region builder
+// and a scheduler instance cloned from the engine's (see core.Cloner).
+type frameWorker struct {
+	scratch admitScratch
+	regionB measurement.RegionBuilder
+	sched   core.Scheduler
+}
+
+// cellGrants is the outcome of one cell's solve phase, held until the
+// commit phase applies it in cell-index order. The slices are reused
+// buffers; only entries with a positive ratio are recorded.
+type cellGrants struct {
+	cell    int
+	skipped bool // region build or scheduler failed; counted, not granted
+	users   []*dataUser
+	ratios  []int
 }
 
 // NewEngine builds a ready-to-run engine for the configuration.
@@ -166,8 +201,44 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.queues[k] = traffic.NewQueue()
 	}
 	e.loads = load.NewLedger(layout.NumCells())
+	if cfg.FrameMode.normalize() == FrameSnapshot {
+		cl, ok := sched.(core.Cloner)
+		if !ok {
+			return nil, fmt.Errorf("sim: scheduler %s does not implement core.Cloner, required by the snapshot frame mode (one independent instance per worker)", sched.Name())
+		}
+		e.initFrameWorkers(cl)
+	}
 	e.populate()
 	return e, nil
+}
+
+// initFrameWorkers sets up the snapshot mode's worker pool and per-worker
+// state. FrameParallel == 1 keeps the solve phase inline (no pool, no
+// goroutines) but still runs the snapshot semantics through worker 0, so
+// the output is identical to any other worker count.
+func (e *Engine) initFrameWorkers(cl core.Cloner) {
+	n := 1
+	if e.cfg.FrameParallel != 1 {
+		e.pool = stream.NewPool(e.cfg.FrameParallel)
+		n = e.pool.Workers()
+	}
+	e.workers = make([]*frameWorker, n)
+	for i := range e.workers {
+		e.workers[i] = &frameWorker{sched: cl.Clone()}
+	}
+	e.active = make([]int, 0, e.layout.NumCells())
+	e.grants = make([]cellGrants, e.layout.NumCells())
+}
+
+// Close releases the snapshot-mode worker pool, if any. Run closes the
+// engine when it finishes; tests that drive step() directly on a
+// snapshot-mode engine should defer Close themselves. Closing is idempotent
+// and a closed engine falls back to the inline solve path.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
 }
 
 // populate creates the data and voice users.
@@ -208,6 +279,7 @@ func (e *Engine) populate() {
 
 // Run executes the replication and returns its metrics.
 func (e *Engine) Run() (*Metrics, error) {
+	defer e.Close()
 	frames := int(math.Ceil(e.cfg.SimTime / e.cfg.FrameLength))
 	for f := 0; f < frames; f++ {
 		e.now = float64(f) * e.cfg.FrameLength
@@ -228,6 +300,7 @@ func (e *Engine) step() {
 	e.serveBursts(dt)
 	e.admit()
 	e.collect()
+	e.frame++
 }
 
 // updateVoice advances voice activity and positions.
@@ -240,64 +313,85 @@ func (e *Engine) updateVoice(dt float64) {
 }
 
 // updateUsers advances mobility, channel state, pilot sets and MAC state for
-// every data user.
+// every data user. Each user's new state is a pure function of its own
+// previous state (own mobility model, own fading and shadowing streams), so
+// in snapshot mode the updates fan out in chunks over the worker pool and
+// the result is identical to the sequential loop.
 func (e *Engine) updateUsers(dt float64) {
+	if e.pool == nil {
+		for _, u := range e.users {
+			e.updateUser(u, dt)
+		}
+		return
+	}
+	const chunk = 32
+	n := (len(e.users) + chunk - 1) / chunk
+	e.pool.Run(n, func(_, task int) {
+		lo := task * chunk
+		hi := min(lo+chunk, len(e.users))
+		for _, u := range e.users[lo:hi] {
+			e.updateUser(u, dt)
+		}
+	})
+}
+
+// updateUser advances one data user by one frame: position, per-cell gain,
+// pilot/active/reduced sets, geometry, FCH ledgers and MAC state.
+func (e *Engine) updateUser(u *dataUser, dt float64) {
 	nCells := e.layout.NumCells()
 	fchPG := e.cfg.RatePlan.FCHSpreadingGain / e.cfg.RatePlan.FCHThroughput // W/Rb for the FCH
 	ebioTarget := mathx.Linear(e.cfg.FCHEbIoTargetDB)
-	for _, u := range e.users {
-		travelled := u.mob.Advance(dt)
-		pos := u.mob.Position()
-		for k := 0; k < nCells; k++ {
-			u.shadow[k].Advance(travelled)
-			lossDB := e.cfg.PathLoss.LossDB(e.layout.Distance(pos, k))
-			u.gain[k] = math.Pow(10, (-lossDB+u.shadow[k].CurrentDB())/10)
-		}
-		u.pilots = cellular.PilotSetInto(u.pilots, u.gain, e.cfg.PilotFraction, e.cfg.MaxCellPowerW, e.cfg.NoiseW)
-		u.active = cellular.ActiveSetInto(u.active, u.pilots, e.cfg.SoftHandoffAddDB, e.cfg.PilotMinEcIoDB, 3)
-		u.reduced = cellular.ReducedActiveSetInto(u.reduced, u.pilots, u.active)
-		if len(u.reduced) == 0 {
-			// Degenerate coverage hole: fall back to the strongest cell.
-			u.reduced = append(u.reduced, u.pilots[0].Cell)
-		}
-		u.hostCell = u.reduced[0]
-
-		// Downlink geometry: serving-cell power over other-cell interference
-		// plus noise, with neighbours at nominal activity.
-		interference := e.cfg.NoiseW
-		for k := 0; k < nCells; k++ {
-			if k == u.hostCell {
-				continue
-			}
-			interference += nominalOtherCellActivity * e.cfg.MaxCellPowerW * u.gain[k]
-		}
-		u.geometry = e.cfg.MaxCellPowerW * u.gain[u.hostCell] / interference
-		u.meanCSIdB = mathx.DB(u.geometry) + schCSIOffsetDB
-
-		// Forward FCH power needed at each reduced-active-set cell (equation 6
-		// inputs): P = EbIo_target * I / (gain * processing gain), capped.
-		cap := e.cfg.FCHTargetFraction * e.cfg.MaxCellPowerW
-		u.fchPower.Reset()
-		for _, k := range u.reduced {
-			req := ebioTarget * interference / (u.gain[k] * fchPG)
-			u.fchPower.Set(k, math.Min(req, cap))
-		}
-
-		// Reverse FCH received power at every cell, assuming the mobile's
-		// reverse power control holds the target at its best cell against a
-		// nominal half-limit interference level. Stored normalised by the
-		// thermal noise power (rise-over-thermal units) so that the admission
-		// arithmetic works on O(1) quantities.
-		nominalL := e.cfg.NoiseW * (1 + (e.cfg.ReverseRiseLimit-1)/2)
-		bestGain := u.gain[u.hostCell]
-		revTx := ebioTarget * nominalL / (bestGain * fchPG)
-		u.revFCHRx.Reset()
-		for _, k := range u.reduced {
-			u.revFCHRx.Set(k, revTx*u.gain[k]/e.cfg.NoiseW)
-		}
-
-		u.macM.AdvanceTo(e.now)
+	travelled := u.mob.Advance(dt)
+	pos := u.mob.Position()
+	for k := 0; k < nCells; k++ {
+		u.shadow[k].Advance(travelled)
+		lossDB := e.cfg.PathLoss.LossDB(e.layout.Distance(pos, k))
+		u.gain[k] = math.Pow(10, (-lossDB+u.shadow[k].CurrentDB())/10)
 	}
+	u.pilots = cellular.PilotSetInto(u.pilots, u.gain, e.cfg.PilotFraction, e.cfg.MaxCellPowerW, e.cfg.NoiseW)
+	u.active = cellular.ActiveSetInto(u.active, u.pilots, e.cfg.SoftHandoffAddDB, e.cfg.PilotMinEcIoDB, 3)
+	u.reduced = cellular.ReducedActiveSetInto(u.reduced, u.pilots, u.active)
+	if len(u.reduced) == 0 {
+		// Degenerate coverage hole: fall back to the strongest cell.
+		u.reduced = append(u.reduced, u.pilots[0].Cell)
+	}
+	u.hostCell = u.reduced[0]
+
+	// Downlink geometry: serving-cell power over other-cell interference
+	// plus noise, with neighbours at nominal activity.
+	interference := e.cfg.NoiseW
+	for k := 0; k < nCells; k++ {
+		if k == u.hostCell {
+			continue
+		}
+		interference += nominalOtherCellActivity * e.cfg.MaxCellPowerW * u.gain[k]
+	}
+	u.geometry = e.cfg.MaxCellPowerW * u.gain[u.hostCell] / interference
+	u.meanCSIdB = mathx.DB(u.geometry) + schCSIOffsetDB
+
+	// Forward FCH power needed at each reduced-active-set cell (equation 6
+	// inputs): P = EbIo_target * I / (gain * processing gain), capped.
+	cap := e.cfg.FCHTargetFraction * e.cfg.MaxCellPowerW
+	u.fchPower.Reset()
+	for _, k := range u.reduced {
+		req := ebioTarget * interference / (u.gain[k] * fchPG)
+		u.fchPower.Set(k, math.Min(req, cap))
+	}
+
+	// Reverse FCH received power at every cell, assuming the mobile's
+	// reverse power control holds the target at its best cell against a
+	// nominal half-limit interference level. Stored normalised by the
+	// thermal noise power (rise-over-thermal units) so that the admission
+	// arithmetic works on O(1) quantities.
+	nominalL := e.cfg.NoiseW * (1 + (e.cfg.ReverseRiseLimit-1)/2)
+	bestGain := u.gain[u.hostCell]
+	revTx := ebioTarget * nominalL / (bestGain * fchPG)
+	u.revFCHRx.Reset()
+	for _, k := range u.reduced {
+		u.revFCHRx.Set(k, revTx*u.gain[k]/e.cfg.NoiseW)
+	}
+
+	u.macM.AdvanceTo(e.now)
 }
 
 // generateTraffic advances the data sources and enqueues new burst requests.
@@ -409,141 +503,245 @@ func (e *Engine) completeBurst(b *burst) {
 	u.macM.Touch(e.now)
 }
 
-// admit runs the measurement and scheduling sub-layers for every cell. All
-// per-cell working storage lives in e.admitScratch and the engine's region
-// builder, so the steady-state admission loop is allocation-free up to the
-// scheduler's integer programme.
+// admit runs the measurement and scheduling sub-layers for every cell, in
+// the configured frame mode. All per-cell working storage lives in the
+// admission scratch sets and region builders, so the steady-state admission
+// loop is allocation-free up to the scheduler's integer programme.
 func (e *Engine) admit() {
-	s := &e.admitScratch
+	if e.cfg.FrameMode.normalize() == FrameSnapshot {
+		e.admitSnapshot()
+		return
+	}
+	e.admitSequential()
+}
+
+// admitSequential is the legacy intra-frame-coupled mode: cells admit in
+// index order against the live ledger, so cell k's admissible region
+// already reflects the grants cells 0..k-1 made earlier in the same frame.
+func (e *Engine) admitSequential() {
+	loads := e.loads.Values() // live: commits below mutate it in place
 	for k := 0; k < e.layout.NumCells(); k++ {
 		queue := e.queues[k]
 		if queue.Len() == 0 {
 			continue
 		}
-		s.items = append(s.items[:0], queue.Items()...)
-		s.reqs = s.reqs[:0]
-		s.users = s.users[:0]
-		s.fwd = s.fwd[:0]
-		s.rev = s.rev[:0]
-		for _, item := range s.items {
-			u := e.userByID(item.UserID)
-			if u == nil || u.queuedReq != item {
-				queue.Remove(item) // stale entry
-				continue
-			}
-			bp := e.phy.AverageThroughput(u.meanCSIdB)
-			wait := e.now - item.ArrivalTime
-			s.reqs = append(s.reqs, core.Request{
-				UserID:        u.id,
-				SizeBits:      item.SizeBits,
-				WaitingTime:   wait,
-				SetupDelay:    u.macM.SetupDelayNow(e.now),
-				Priority:      item.Priority,
-				AvgThroughput: bp,
-				MaxRatio:      e.cfg.RatePlan.MaxUsefulRatio(item.SizeBits, bp, e.cfg.MinBurstDuration),
-			})
-			s.users = append(s.users, u)
-			switch e.cfg.Direction {
-			case Forward:
-				// The request shares the user's FCH ledger: the region builder
-				// only reads it, and the region is consumed within this frame.
-				s.fwd = append(s.fwd, measurement.ForwardRequest{UserID: u.id, FCHPower: u.fchPower, Alpha: 1})
-			case Reverse:
-				zeta := 4.0
-				u.revPilot.Reset()
-				for i := 0; i < u.revFCHRx.Len(); i++ {
-					c, x := u.revFCHRx.At(i)
-					u.revPilot.Set(c, x/(zeta*math.Max(e.loads.Get(c), 1)))
-				}
-				// The pilots are sorted strongest-first, so the first
-				// SCRMMaxPilots entries are exactly the SCRM payload.
-				u.scrm.Reset()
-				for i, pm := range u.pilots {
-					if i >= measurement.SCRMMaxPilots {
-						break
-					}
-					u.scrm.Set(pm.Cell, pm.EcIo)
-				}
-				s.rev = append(s.rev, measurement.ReverseRequest{
-					UserID:       u.id,
-					HostCell:     u.hostCell,
-					ReversePilot: u.revPilot,
-					SCRM:         measurement.SCRM{Pilots: u.scrm},
-					Zeta:         zeta,
-					Alpha:        1,
-				})
-			}
-		}
-		if len(s.reqs) == 0 {
+		if !e.gatherCell(k, &e.admitScratch, loads) {
 			continue
 		}
-
-		var region measurement.Region
-		var err error
-		switch e.cfg.Direction {
-		case Forward:
-			region, err = e.regionB.Forward(measurement.ForwardState{
-				CurrentLoad: e.loads.Values(),
-				MaxLoad:     e.cfg.MaxCellPowerW,
-				GammaS:      e.cfg.RatePlan.GammaS,
-			}, s.fwd)
-		case Reverse:
-			region, err = e.regionB.Reverse(measurement.ReverseState{
-				TotalReceived: e.loads.Values(),
-				MaxReceived:   e.cfg.ReverseRiseLimit,
-				GammaS:        e.cfg.RatePlan.GammaS,
-				ShadowMargin:  e.cfg.ShadowMargin,
-			}, s.rev)
-		}
+		assignment, err := e.solveCell(&e.admitScratch, &e.regionB, e.scheduler, loads)
 		if err != nil {
-			continue // skip this cell this frame rather than abort the run
-		}
-
-		problem := core.Problem{
-			Requests:  s.reqs,
-			Region:    region,
-			MaxRatio:  e.cfg.RatePlan.MaxSpreadingRatio,
-			Objective: e.cfg.Objective,
-			MAC:       &e.cfg.MAC,
-		}
-		assignment, err := e.scheduler.Schedule(problem)
-		if err != nil {
+			// Skip this cell this frame rather than abort the run, but leave
+			// a trace: a persistently skipped cell is a misconfiguration.
+			e.metrics.SkippedCells++
 			continue
+		}
+		e.commitCell(queue, e.admitScratch.users, assignment.Ratios)
+	}
+}
+
+// admitSnapshot is the paper-faithful mode: a measure+solve phase builds
+// every queued cell's admissible region and solves its scheduler ILP
+// against the immutable frame-start ledger (the previous frame's
+// measurements), fanned out over the worker pool; a commit phase then
+// applies the grants in cell-index order. No cell's solution reads another
+// cell's grant, so the solves are independent and the output does not
+// depend on the worker count; the fixed commit order makes it
+// byte-identical as well. Cells may jointly overshoot a shared budget
+// within the frame — exactly the paper's semantics, absorbed next frame
+// when the ledger is rebuilt from the granted bursts.
+func (e *Engine) admitSnapshot() {
+	e.active = e.active[:0]
+	for k := 0; k < e.layout.NumCells(); k++ {
+		if e.queues[k].Len() > 0 {
+			e.active = append(e.active, k)
+		}
+	}
+	if len(e.active) == 0 {
+		return
+	}
+	loads := e.loads.Values() // immutable until the commit phase
+	solve := func(w, i int) {
+		fw := e.workers[w]
+		k := e.active[i]
+		g := &e.grants[i]
+		g.cell = k
+		g.skipped = false
+		g.users = g.users[:0]
+		g.ratios = g.ratios[:0]
+		if !e.gatherCell(k, &fw.scratch, loads) {
+			return
+		}
+		if cs, ok := fw.sched.(core.CellSeeder); ok {
+			cs.SeedCell(uint64(e.frame), uint64(k))
+		}
+		assignment, err := e.solveCell(&fw.scratch, &fw.regionB, fw.sched, loads)
+		if err != nil {
+			g.skipped = true
+			return
 		}
 		for j, m := range assignment.Ratios {
-			if m <= 0 {
-				continue
+			if m > 0 {
+				g.users = append(g.users, fw.scratch.users[j])
+				g.ratios = append(g.ratios, m)
 			}
-			u := s.users[j]
-			item := u.queuedReq
-			queue.Remove(item)
-			// Freeze the burst's per-cell footprint at grant time: the user's
-			// ledgers are rebuilt every frame, so the burst needs its own copy.
-			var granted load.Vec
-			switch e.cfg.Direction {
-			case Forward:
-				granted = u.fchPower.CloneScaled(e.cfg.RatePlan.GammaS * float64(m))
-			case Reverse:
-				granted = u.revFCHRx.CloneScaled(e.cfg.RatePlan.GammaS * float64(m))
-			}
-			b := &burst{
-				user:           u,
-				ratio:          m,
-				remaining:      item.SizeBits,
-				load:           granted,
-				setupRemaining: u.macM.SetupDelayNow(e.now),
-				grantedAt:      e.now,
-			}
-			e.bursts = append(e.bursts, b)
-			e.loads.AddVec(granted)
-			if e.now >= e.cfg.WarmupTime {
-				e.metrics.AssignedRatio.Add(float64(m))
-				if !u.firstGrant {
-					e.metrics.AdmissionWait.Add(e.now - item.ArrivalTime)
-				}
-			}
-			u.firstGrant = true
 		}
+	}
+	if e.pool != nil {
+		e.pool.Run(len(e.active), solve)
+	} else {
+		for i := range e.active {
+			solve(0, i)
+		}
+	}
+	for i := range e.active {
+		g := &e.grants[i]
+		if g.skipped {
+			e.metrics.SkippedCells++
+			continue
+		}
+		e.commitCell(e.queues[g.cell], g.users, g.ratios)
+	}
+}
+
+// gatherCell drains cell k's queue into the scratch working set: stale
+// entries are dropped from the queue, live requests become core.Requests
+// plus their direction-specific measurement attachments. loads is the
+// per-cell ledger the reverse-link pilot reports normalise against — the
+// live ledger in sequential mode, the frame-start ledger in snapshot mode
+// (identical storage; snapshot mode simply defers the mutations). The
+// per-user revPilot/scrm scratch is safe to fill concurrently because a
+// user has at most one outstanding request, queued in exactly one cell.
+// Reports whether anything is left to schedule.
+func (e *Engine) gatherCell(k int, s *admitScratch, loads []float64) bool {
+	queue := e.queues[k]
+	s.items = append(s.items[:0], queue.Items()...)
+	s.reqs = s.reqs[:0]
+	s.users = s.users[:0]
+	s.fwd = s.fwd[:0]
+	s.rev = s.rev[:0]
+	for _, item := range s.items {
+		u := e.userByID(item.UserID)
+		if u == nil || u.queuedReq != item {
+			queue.Remove(item) // stale entry
+			continue
+		}
+		bp := e.phy.AverageThroughput(u.meanCSIdB)
+		wait := e.now - item.ArrivalTime
+		s.reqs = append(s.reqs, core.Request{
+			UserID:        u.id,
+			SizeBits:      item.SizeBits,
+			WaitingTime:   wait,
+			SetupDelay:    u.macM.SetupDelayNow(e.now),
+			Priority:      item.Priority,
+			AvgThroughput: bp,
+			MaxRatio:      e.cfg.RatePlan.MaxUsefulRatio(item.SizeBits, bp, e.cfg.MinBurstDuration),
+		})
+		s.users = append(s.users, u)
+		switch e.cfg.Direction {
+		case Forward:
+			// The request shares the user's FCH ledger: the region builder
+			// only reads it, and the region is consumed within this frame.
+			s.fwd = append(s.fwd, measurement.ForwardRequest{UserID: u.id, FCHPower: u.fchPower, Alpha: 1})
+		case Reverse:
+			zeta := 4.0
+			u.revPilot.Reset()
+			for i := 0; i < u.revFCHRx.Len(); i++ {
+				c, x := u.revFCHRx.At(i)
+				u.revPilot.Set(c, x/(zeta*math.Max(loads[c], 1)))
+			}
+			// The pilots are sorted strongest-first, so the first
+			// SCRMMaxPilots entries are exactly the SCRM payload.
+			u.scrm.Reset()
+			for i, pm := range u.pilots {
+				if i >= measurement.SCRMMaxPilots {
+					break
+				}
+				u.scrm.Set(pm.Cell, pm.EcIo)
+			}
+			s.rev = append(s.rev, measurement.ReverseRequest{
+				UserID:       u.id,
+				HostCell:     u.hostCell,
+				ReversePilot: u.revPilot,
+				SCRM:         measurement.SCRM{Pilots: u.scrm},
+				Zeta:         zeta,
+				Alpha:        1,
+			})
+		}
+	}
+	return len(s.reqs) > 0
+}
+
+// solveCell builds the admissible region for the gathered requests against
+// the given ledger and solves the scheduling problem with the given
+// scheduler and region builder. The returned assignment indexes s.users.
+func (e *Engine) solveCell(s *admitScratch, rb *measurement.RegionBuilder, sched core.Scheduler, loads []float64) (core.Assignment, error) {
+	var region measurement.Region
+	var err error
+	switch e.cfg.Direction {
+	case Forward:
+		region, err = rb.Forward(measurement.ForwardState{
+			CurrentLoad: loads,
+			MaxLoad:     e.cfg.MaxCellPowerW,
+			GammaS:      e.cfg.RatePlan.GammaS,
+		}, s.fwd)
+	case Reverse:
+		region, err = rb.Reverse(measurement.ReverseState{
+			TotalReceived: loads,
+			MaxReceived:   e.cfg.ReverseRiseLimit,
+			GammaS:        e.cfg.RatePlan.GammaS,
+			ShadowMargin:  e.cfg.ShadowMargin,
+		}, s.rev)
+	}
+	if err != nil {
+		return core.Assignment{}, err
+	}
+	return sched.Schedule(core.Problem{
+		Requests:  s.reqs,
+		Region:    region,
+		MaxRatio:  e.cfg.RatePlan.MaxSpreadingRatio,
+		Objective: e.cfg.Objective,
+		MAC:       &e.cfg.MAC,
+	})
+}
+
+// commitCell applies one cell's grants: granted requests leave the queue,
+// bursts start with their per-cell footprint frozen, and the live ledger
+// and admission statistics are updated. users[j] receives ratios[j]; zero
+// ratios are no-ops.
+func (e *Engine) commitCell(queue *traffic.Queue, users []*dataUser, ratios []int) {
+	for j, m := range ratios {
+		if m <= 0 {
+			continue
+		}
+		u := users[j]
+		item := u.queuedReq
+		queue.Remove(item)
+		// Freeze the burst's per-cell footprint at grant time: the user's
+		// ledgers are rebuilt every frame, so the burst needs its own copy.
+		var granted load.Vec
+		switch e.cfg.Direction {
+		case Forward:
+			granted = u.fchPower.CloneScaled(e.cfg.RatePlan.GammaS * float64(m))
+		case Reverse:
+			granted = u.revFCHRx.CloneScaled(e.cfg.RatePlan.GammaS * float64(m))
+		}
+		b := &burst{
+			user:           u,
+			ratio:          m,
+			remaining:      item.SizeBits,
+			load:           granted,
+			setupRemaining: u.macM.SetupDelayNow(e.now),
+			grantedAt:      e.now,
+		}
+		e.bursts = append(e.bursts, b)
+		e.loads.AddVec(granted)
+		if e.now >= e.cfg.WarmupTime {
+			e.metrics.AssignedRatio.Add(float64(m))
+			if !u.firstGrant {
+				e.metrics.AdmissionWait.Add(e.now - item.ArrivalTime)
+			}
+		}
+		u.firstGrant = true
 	}
 }
 

@@ -7,6 +7,8 @@ package sim
 import (
 	"math"
 	"testing"
+
+	"jabasd/internal/traffic"
 )
 
 func newTestEngine(t *testing.T, mutate func(*Config)) *Engine {
@@ -244,5 +246,154 @@ func TestCollectRespectsWarmup(t *testing.T) {
 	e.collect()
 	if e.metrics.CellLoad.Count() == 0 {
 		t.Error("statistics must be collected after warm-up")
+	}
+}
+
+// queueTestRequest manufactures a queued burst request for user u, as
+// generateTraffic would have, and returns it. The engine must have run at
+// least one step so the user's channel state exists.
+func queueTestRequest(e *Engine, u *dataUser, sizeBits float64) *traffic.BurstRequest {
+	req := &traffic.BurstRequest{UserID: u.id, SizeBits: sizeBits, ArrivalTime: e.now, Priority: 1}
+	u.queuedReq = req
+	u.queuedCell = u.hostCell
+	u.firstGrant = false
+	e.queues[u.hostCell].Push(req)
+	return req
+}
+
+// admitModes runs the sub-test once per frame mode so the edge cases cover
+// both the sequential and the snapshot admission paths.
+func admitModes(t *testing.T, mutate func(*Config), fn func(t *testing.T, e *Engine)) {
+	t.Helper()
+	for _, mode := range []FrameMode{FrameSequential, FrameSnapshot} {
+		t.Run(string(mode), func(t *testing.T) {
+			e := newTestEngine(t, func(c *Config) {
+				c.FrameMode = mode
+				c.FrameParallel = 2
+				if mutate != nil {
+					mutate(c)
+				}
+			})
+			defer e.Close()
+			// One step gives every user valid channel state and pilot sets.
+			e.now = 0
+			e.step()
+			e.now = e.cfg.FrameLength
+			// Quiesce: drop the organic traffic the step produced, so the
+			// probe request injected by the sub-test is the only one in play.
+			for _, q := range e.queues {
+				for _, item := range append([]*traffic.BurstRequest(nil), q.Items()...) {
+					q.Remove(item)
+				}
+			}
+			for _, u := range e.users {
+				u.queuedReq = nil
+			}
+			e.bursts = e.bursts[:0]
+			fn(t, e)
+		})
+	}
+}
+
+// TestAdmitDropsStaleQueueEntries: a queue entry whose user no longer backs
+// it (the request pointer was superseded or cleared) must be removed during
+// gathering without producing a grant.
+func TestAdmitDropsStaleQueueEntries(t *testing.T) {
+	admitModes(t, nil, func(t *testing.T, e *Engine) {
+		u := e.users[0]
+		stale := queueTestRequest(e, u, 100_000)
+		u.queuedReq = nil // supersede: the queue entry is now stale
+		k := u.queuedCell
+		before := len(e.bursts)
+		e.admit()
+		if got := e.queues[k].Len(); got != 0 {
+			t.Errorf("stale entry still queued (len=%d)", got)
+		}
+		if len(e.bursts) != before {
+			t.Error("stale entry produced a burst")
+		}
+		if e.metrics.SkippedCells != 0 {
+			t.Error("a stale entry is not a skipped cell")
+		}
+		_ = stale
+	})
+}
+
+// TestAdmitCountsSkippedCellsOnRegionError: when the measurement sub-layer
+// cannot build the admissible region, the cell is skipped for the frame and
+// the failure is counted instead of silently swallowed.
+func TestAdmitCountsSkippedCellsOnRegionError(t *testing.T) {
+	admitModes(t, nil, func(t *testing.T, e *Engine) {
+		u := e.users[0]
+		queueTestRequest(e, u, 100_000)
+		e.cfg.RatePlan.GammaS = 0 // invalid measurement input => region error
+		before := len(e.bursts)
+		e.admit()
+		if e.metrics.SkippedCells == 0 {
+			t.Fatal("region error did not count a skipped cell")
+		}
+		if e.queues[u.queuedCell].Len() != 1 {
+			t.Error("skipped cell should leave the queue untouched")
+		}
+		if len(e.bursts) != before {
+			t.Error("skipped cell must not grant")
+		}
+	})
+}
+
+// TestAdmitZeroRatioAssignmentLeavesQueue: an over-budget cell yields the
+// all-zero assignment — requests stay queued for the next frame and no
+// burst, load or skip is recorded.
+func TestAdmitZeroRatioAssignmentLeavesQueue(t *testing.T) {
+	admitModes(t, nil, func(t *testing.T, e *Engine) {
+		u := e.users[0]
+		queueTestRequest(e, u, 100_000)
+		// Saturate the ledger: every cell far beyond the power budget makes
+		// every region bound negative, forcing m = 0 for all requests.
+		e.loads.Fill(10 * e.cfg.MaxCellPowerW)
+		bursts := len(e.bursts)
+		ratios := e.metrics.AssignedRatio.Count()
+		e.admit()
+		if e.queues[u.queuedCell].Len() != 1 {
+			t.Error("zero-ratio assignment must keep the request queued")
+		}
+		if len(e.bursts) != bursts {
+			t.Error("zero-ratio assignment must not start a burst")
+		}
+		if e.metrics.SkippedCells != 0 {
+			t.Error("an infeasible frame is a valid zero assignment, not a skipped cell")
+		}
+		if e.metrics.AssignedRatio.Count() != ratios {
+			t.Error("zero grants must not be recorded as assigned ratios")
+		}
+	})
+}
+
+// TestSnapshotSolvePhaseLeavesLedgerUntouched pins the snapshot invariant
+// the parallel solve phase relies on: gathering and solving must not write
+// the shared ledger; only the commit phase may.
+func TestSnapshotSolvePhaseLeavesLedgerUntouched(t *testing.T) {
+	e := newTestEngine(t, func(c *Config) {
+		c.FrameMode = FrameSnapshot
+		c.FrameParallel = 1
+	})
+	defer e.Close()
+	e.now = 0
+	e.step()
+	e.now = e.cfg.FrameLength
+	u := e.users[0]
+	queueTestRequest(e, u, 100_000)
+	before := append([]float64(nil), e.loads.Values()...)
+	s := &e.workers[0].scratch
+	if !e.gatherCell(u.queuedCell, s, e.loads.Values()) {
+		t.Fatal("gather found nothing to schedule")
+	}
+	if _, err := e.solveCell(s, &e.workers[0].regionB, e.workers[0].sched, e.loads.Values()); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range e.loads.Values() {
+		if v != before[k] {
+			t.Fatalf("solve phase mutated the ledger at cell %d: %v -> %v", k, before[k], v)
+		}
 	}
 }

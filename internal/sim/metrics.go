@@ -33,6 +33,13 @@ type Metrics struct {
 	BurstsCompleted int64
 	BurstsExpired   int64 // requests dropped because the user left coverage entirely (rare)
 
+	// SkippedCells counts cell-frames whose admission was abandoned because
+	// the measurement sub-layer could not build the admissible region or the
+	// scheduler failed. A healthy scenario keeps this at zero (warm-up
+	// included); a persistently non-zero count means the configuration is
+	// feeding the admission layer inconsistent measurements.
+	SkippedCells int64
+
 	// CoveredBursts counts completed bursts whose average served rate met the
 	// coverage threshold; coverage = CoveredBursts / BurstsCompleted.
 	CoveredBursts int64
@@ -98,7 +105,10 @@ type Aggregate struct {
 	AdmissionWait  stats.Running
 	AssignedRatio  stats.Running
 	CompletionRate stats.Running
-	Replications   int
+	// SkippedCells is the per-replication count of abandoned cell-frames
+	// (see Metrics.SkippedCells); any non-zero mean deserves a look.
+	SkippedCells stats.Running
+	Replications int
 }
 
 // AddReplication folds one replication's metrics into the aggregate.
@@ -115,6 +125,7 @@ func (a *Aggregate) AddReplication(m *Metrics) {
 	a.AdmissionWait.Add(m.AdmissionWait.Mean())
 	a.AssignedRatio.Add(m.AssignedRatio.Mean())
 	a.CompletionRate.Add(m.CompletionRatio())
+	a.SkippedCells.Add(float64(m.SkippedCells))
 	a.Replications++
 }
 

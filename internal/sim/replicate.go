@@ -31,6 +31,7 @@ func runReplications(cfg Config, n int, runOne func(Config) (*Metrics, error)) (
 		func(i int) error {
 			repCfg := cfg
 			repCfg.Seed = cfg.Seed + uint64(i)
+			repCfg.FrameParallel = ResolveFrameParallel(cfg, n)
 			m, err := runOne(repCfg)
 			if err != nil {
 				return fmt.Errorf("sim: replication %d failed: %w", i, err)
@@ -46,6 +47,21 @@ func runReplications(cfg Config, n int, runOne func(Config) (*Metrics, error)) (
 		return nil, err
 	}
 	return agg, nil
+}
+
+// ResolveFrameParallel resolves a run's FrameParallel under an outer
+// fan-out of the given width: a snapshot config on the auto setting (0)
+// runs its frames inline when fanout > 1 rather than stacking a second
+// GOMAXPROCS-wide pool per engine onto already-saturated CPUs, and keeps
+// the auto pool for a single run. Explicit worker counts are always
+// honoured, and the choice never affects the results (snapshot output is
+// byte-identical for any worker count). RunReplications and sweep.Stream
+// both apply this.
+func ResolveFrameParallel(cfg Config, fanout int) int {
+	if fanout > 1 && cfg.FrameMode.normalize() == FrameSnapshot && cfg.FrameParallel == 0 {
+		return 1
+	}
+	return cfg.FrameParallel
 }
 
 // CompareSchedulers runs the same scenario (same seeds, so common random

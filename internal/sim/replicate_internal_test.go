@@ -109,3 +109,26 @@ func TestRunReplicationsStubAggregation(t *testing.T) {
 		t.Errorf("aggregate scheduler = %q", agg.Scheduler)
 	}
 }
+
+func TestResolveFrameParallelAvoidsNestedPools(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FrameMode = FrameSnapshot
+	// Auto (0) under a parallel replication fan-out resolves to inline.
+	if got := ResolveFrameParallel(cfg, 4); got != 1 {
+		t.Errorf("auto under n=4 -> %d, want 1 (inline)", got)
+	}
+	// A single replication keeps the auto pool.
+	if got := ResolveFrameParallel(cfg, 1); got != 0 {
+		t.Errorf("auto under n=1 -> %d, want 0 (GOMAXPROCS)", got)
+	}
+	// Explicit worker counts are always honoured.
+	cfg.FrameParallel = 8
+	if got := ResolveFrameParallel(cfg, 4); got != 8 {
+		t.Errorf("explicit 8 under n=4 -> %d, want 8", got)
+	}
+	// Sequential mode is untouched.
+	cfg = DefaultConfig()
+	if got := ResolveFrameParallel(cfg, 4); got != 0 {
+		t.Errorf("sequential config -> %d, want 0 (unused)", got)
+	}
+}

@@ -314,3 +314,154 @@ func TestObjectiveJ1VersusJ2RunsBoth(t *testing.T) {
 		t.Fatalf("J2 run failed: %v", err)
 	}
 }
+
+// fingerprint collapses a replication's metrics into exact values that any
+// semantic change to the frame loop would perturb.
+func fingerprint(m *Metrics) [6]float64 {
+	return [6]float64{
+		float64(m.BurstsGenerated),
+		float64(m.BurstsCompleted),
+		m.BitsDelivered,
+		m.BurstDelay.Mean(),
+		m.CellLoad.Mean(),
+		m.AssignedRatio.Mean(),
+	}
+}
+
+// TestSnapshotModeIdenticalAcrossWorkerCounts is the determinism contract of
+// the snapshot frame mode: because every cell solves against the immutable
+// frame-start ledger and grants commit in fixed cell order, the output is
+// exactly identical whether the solve phase runs inline, on one pooled
+// worker, or on many.
+func TestSnapshotModeIdenticalAcrossWorkerCounts(t *testing.T) {
+	base := quickConfig()
+	base.SimTime = 4
+	base.FrameMode = FrameSnapshot
+	var want [6]float64
+	for i, par := range []int{1, 2, 8, 0} {
+		cfg := base
+		cfg.FrameParallel = par
+		m, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("FrameParallel=%d: %v", par, err)
+		}
+		got := fingerprint(m)
+		if i == 0 {
+			want = got
+			if m.BurstsCompleted == 0 {
+				t.Fatal("snapshot run completed no bursts; scenario too light to test determinism")
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("FrameParallel=%d diverged: %v vs %v", par, got, want)
+		}
+	}
+}
+
+// TestSnapshotModeIdenticalAcrossWorkerCountsRandomScheduler covers the
+// stateful-scheduler path: the Random scheduler's permutations are reseeded
+// per (frame, cell) in snapshot mode, so its output too must not depend on
+// the worker count or the cell→worker assignment.
+func TestSnapshotModeIdenticalAcrossWorkerCountsRandomScheduler(t *testing.T) {
+	base := quickConfig()
+	base.SimTime = 4
+	base.Scheduler = SchedulerRandom
+	base.FrameMode = FrameSnapshot
+	var want [6]float64
+	for i, par := range []int{1, 4} {
+		cfg := base
+		cfg.FrameParallel = par
+		m, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("FrameParallel=%d: %v", par, err)
+		}
+		if got := fingerprint(m); i == 0 {
+			want = got
+		} else if got != want {
+			t.Errorf("random scheduler diverged across worker counts: %v vs %v", got, want)
+		}
+	}
+}
+
+// TestFrameModesAgreeOnSingleCell pins down where sequential and snapshot
+// admission are allowed to diverge: within one frame, sequential mode lets
+// cell k see the grants of cells < k, snapshot mode does not. With a single
+// cell there are no other cells to couple to, so the two modes must be
+// exactly identical — any difference here would mean the snapshot refactor
+// changed the per-cell admission itself.
+func TestFrameModesAgreeOnSingleCell(t *testing.T) {
+	for _, dir := range []Direction{Forward, Reverse} {
+		cfg := quickConfig()
+		cfg.SimTime = 5
+		cfg.Rings = 0 // one cell
+		cfg.DataUsersPerCell = 8
+		cfg.Direction = dir
+		seq, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.FrameMode = FrameSnapshot
+		cfg.FrameParallel = 2
+		snap, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.BurstsCompleted == 0 {
+			t.Fatalf("%s: no bursts completed; scenario too light", dir)
+		}
+		if fingerprint(seq) != fingerprint(snap) {
+			t.Errorf("%s: single-cell run diverged between frame modes: %v vs %v",
+				dir, fingerprint(seq), fingerprint(snap))
+		}
+	}
+}
+
+// TestFrameModesDivergeUnderMultiCellLoad is the counterpart: with many
+// loaded cells, sequential mode's intra-frame coupling (later cells see
+// earlier cells' grants in the shared ledger) must eventually produce a
+// different trajectory than the snapshot semantics. If this test ever
+// fails, the two modes have collapsed into one and the FrameMode knob is
+// dead code.
+func TestFrameModesDivergeUnderMultiCellLoad(t *testing.T) {
+	cfg := quickConfig()
+	cfg.SimTime = 8
+	cfg.DataUsersPerCell = 14 // enough contention for cross-cell coupling
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FrameMode = FrameSnapshot
+	snap, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.BurstsCompleted == 0 || snap.BurstsCompleted == 0 {
+		t.Fatal("no bursts completed; scenario too light to couple cells")
+	}
+	if fingerprint(seq) == fingerprint(snap) {
+		t.Error("sequential and snapshot modes produced identical output under multi-cell load; intra-frame coupling lost")
+	}
+}
+
+// TestSnapshotModeRequiresClonableScheduler documents the enforcement path:
+// the snapshot mode hands every worker its own scheduler instance, so a
+// scheduler that cannot clone itself is rejected at engine construction.
+func TestSnapshotModeRequiresClonableScheduler(t *testing.T) {
+	cfg := quickConfig()
+	cfg.FrameMode = FrameSnapshot
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("built-in schedulers all implement core.Cloner: %v", err)
+	}
+	e.Close()
+	cfg.FrameMode = "warp"
+	if _, err := NewEngine(cfg); err == nil {
+		t.Error("unknown frame mode should be rejected")
+	}
+	cfg.FrameMode = FrameSnapshot
+	cfg.FrameParallel = -1
+	if _, err := NewEngine(cfg); err == nil {
+		t.Error("negative FrameParallel should be rejected")
+	}
+}

@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -139,5 +140,80 @@ func TestOrderedDefaultParallel(t *testing.T) {
 	}
 	if len(order) != 5 {
 		t.Fatalf("emitted %d of 5", len(order))
+	}
+}
+
+func TestPoolRunsEveryTaskExactlyOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 1000
+	var counts [n]int32
+	p.Run(n, func(worker, task int) {
+		if worker < 0 || worker >= p.Workers() {
+			t.Errorf("worker index %d out of range [0,%d)", worker, p.Workers())
+		}
+		atomic.AddInt32(&counts[task], 1)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestPoolPerWorkerScratchNeedsNoLocking(t *testing.T) {
+	// The point of worker identity: per-worker accumulators written without
+	// synchronisation must still sum to the whole workload. Run under -race
+	// this also proves no two tasks share a worker slot concurrently.
+	p := NewPool(3)
+	defer p.Close()
+	scratch := make([]int, p.Workers())
+	const n = 500
+	p.Run(n, func(worker, task int) {
+		scratch[worker]++
+	})
+	total := 0
+	for _, s := range scratch {
+		total += s
+	}
+	if total != n {
+		t.Fatalf("per-worker scratch sums to %d, want %d", total, n)
+	}
+}
+
+func TestPoolReusableAcrossRuns(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	for round := 0; round < 50; round++ {
+		var sum atomic.Int64
+		p.Run(round%7, func(_, task int) { sum.Add(int64(task) + 1) })
+		n := int64(round % 7)
+		if got := sum.Load(); got != n*(n+1)/2 {
+			t.Fatalf("round %d: sum %d, want %d", round, got, n*(n+1)/2)
+		}
+	}
+}
+
+func TestPoolZeroTasksAndDefaults(t *testing.T) {
+	p := NewPool(0) // GOMAXPROCS
+	defer p.Close()
+	if p.Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d, want GOMAXPROCS (%d)", p.Workers(), runtime.GOMAXPROCS(0))
+	}
+	ran := false
+	p.Run(0, func(_, _ int) { ran = true })
+	p.Run(-3, func(_, _ int) { ran = true })
+	if ran {
+		t.Error("n <= 0 must run nothing")
+	}
+}
+
+func TestPoolMoreWorkersThanTasks(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var sum atomic.Int64
+	p.Run(2, func(_, task int) { sum.Add(int64(task) + 1) })
+	if sum.Load() != 3 {
+		t.Errorf("sum = %d, want 3", sum.Load())
 	}
 }

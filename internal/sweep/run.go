@@ -73,6 +73,16 @@ func Stream(g Grid, opts Options, emit func(Result) error) error {
 			cfg.Seed = opts.BaseSeed
 		}
 		cfg.Seed += uint64(i) * uint64(reps)
+		// The (point × replication) fan-out already saturates the CPUs, so
+		// snapshot points on the auto frame-worker setting run their frames
+		// inline instead of stacking a second pool per engine (output is
+		// byte-identical either way). A -parallel 1 sweep is effectively a
+		// single run at a time, so it keeps the auto pool.
+		fanout := len(points) * reps
+		if opts.Parallel == 1 {
+			fanout = 1
+		}
+		cfg.FrameParallel = sim.ResolveFrameParallel(cfg, fanout)
 		if err := cfg.Validate(); err != nil {
 			return fmt.Errorf("sweep: point %d (%s): %w", i, p.Label(), err)
 		}

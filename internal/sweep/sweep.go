@@ -136,6 +136,18 @@ func axisDefs() []axisDef {
 			},
 		},
 		{
+			name: "framemode", usage: "frame admission mode: sequential or snapshot",
+			apply: func(cfg *sim.Config, v string) error {
+				switch sim.FrameMode(v) {
+				case sim.FrameSequential, sim.FrameSnapshot:
+					cfg.FrameMode = sim.FrameMode(v)
+					return nil
+				default:
+					return fmt.Errorf("want sequential or snapshot, got %q", v)
+				}
+			},
+		},
+		{
 			name: "objective", usage: "admission objective: j1 (throughput) or j2 (delay-aware)",
 			apply: func(cfg *sim.Config, v string) error {
 				switch v {

@@ -312,7 +312,7 @@ func TestPaperLoadSweepEndToEnd(t *testing.T) {
 
 func TestAxesListing(t *testing.T) {
 	names := AxisNames()
-	if len(names) != 6 {
+	if len(names) != 7 {
 		t.Errorf("axis names %v", names)
 	}
 	lines := Axes()
