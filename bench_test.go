@@ -1,5 +1,5 @@
 // Package jabasd_bench contains the benchmark harness that regenerates every
-// experiment of the evaluation (see DESIGN.md section 4 and EXPERIMENTS.md):
+// experiment of the evaluation (the registered suite E1-E12):
 // one BenchmarkE<n>… target per experiment, plus micro-benchmarks for the
 // hot paths (per-frame scheduling, the LP/ILP solvers and the dynamic
 // simulator). Benchmarks run the quick experiment scale so that
@@ -32,7 +32,7 @@ var benchScale = experiments.Scale{
 }
 
 // ---------------------------------------------------------------------------
-// Experiment benchmarks (E1-E10): one per table/figure of the evaluation.
+// Experiment benchmarks (E1-E12): one per table/figure of the evaluation.
 // ---------------------------------------------------------------------------
 
 func BenchmarkE1AdaptivePhyThroughput(b *testing.B) {
@@ -112,6 +112,22 @@ func BenchmarkE9ObjectiveTradeoff(b *testing.B) {
 func BenchmarkE10MacStates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.E10MacStates(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11WarmupConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E11WarmupConvergence(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12LoadStepResponse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E12LoadStepResponse(benchScale); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,5 +1,5 @@
-// Command jabaexp regenerates the experiment suite E1-E10 described in
-// DESIGN.md / EXPERIMENTS.md and prints every results table. The suite is
+// Command jabaexp regenerates the experiment suite E1-E12 and prints every
+// results table. The suite is
 // read from the experiments registry (the same one experiments.All runs), so
 // the tool and the library can never disagree about what E<n> means. One
 // consequence of that unification: the analytic E3/E4 instance counts now

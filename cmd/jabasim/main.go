@@ -6,19 +6,24 @@
 //	jabasim -preset smoke -scheduler jaba-sd -reps 2
 //	jabasim -config scenario.json
 //	jabasim -preset baseline -dump-config > scenario.json
+//	jabasim -preset smoke -trace trace.csv -trace-every 10
 //
 // The -preset flag selects a named scenario (see -list-presets); -config
 // loads a JSON file produced by -dump-config. Individual flags override the
-// chosen base configuration.
+// chosen base configuration. -trace streams per-frame, per-cell telemetry
+// (see internal/trace) to a file — CSV by default, JSON Lines when the path
+// ends in .jsonl; with -reps > 1 only replication 0 is traced.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"jabasd/internal/scenario"
 	"jabasd/internal/sim"
+	"jabasd/internal/trace"
 )
 
 func main() {
@@ -43,6 +48,8 @@ func run(args []string) error {
 		reps        = fs.Int("reps", 1, "independent replications (parallel)")
 		frameMode   = fs.String("framemode", "", "frame admission mode: sequential or snapshot (default: scenario's)")
 		framePar    = fs.Int("frameparallel", -1, "snapshot-mode solve workers: 0 = auto (GOMAXPROCS, but inline under a parallel reps/sweep fan-out), 1 = inline, -1 keeps the scenario's")
+		tracePath   = fs.String("trace", "", "write per-frame per-cell telemetry to this file (CSV, or JSONL when the path ends in .jsonl); replication 0 only when -reps > 1")
+		traceEvery  = fs.Int("trace-every", 1, "sample every Nth frame into the -trace output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +105,9 @@ func run(args []string) error {
 		}
 		cfg.FrameParallel = *framePar
 	}
+	if *traceEvery < 0 {
+		return fmt.Errorf("-trace-every must be >= 0, got %d", *traceEvery)
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -111,9 +121,40 @@ func run(args []string) error {
 		return nil
 	}
 
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		// The deferred close backs failure paths only; success closes
+		// explicitly below so a full disk surfaces as an error.
+		defer f.Close()
+		traceFile = f
+		if strings.HasSuffix(*tracePath, ".jsonl") {
+			cfg.Trace = trace.NewJSONL(f)
+		} else {
+			cfg.Trace = trace.NewCSV(f)
+		}
+		cfg.TraceEvery = *traceEvery
+	}
+	closeTrace := func() error {
+		if traceFile == nil {
+			return nil
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
+		return nil
+	}
+
 	if *reps <= 1 {
 		m, err := sim.Run(cfg)
 		if err != nil {
+			return err
+		}
+		if err := closeTrace(); err != nil {
 			return err
 		}
 		printMetrics(m)
@@ -121,6 +162,9 @@ func run(args []string) error {
 	}
 	agg, err := sim.RunReplications(cfg, *reps)
 	if err != nil {
+		return err
+	}
+	if err := closeTrace(); err != nil {
 		return err
 	}
 	fmt.Println(agg.String())

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -92,5 +93,50 @@ func TestRunFrameModeOverride(t *testing.T) {
 		// -2 passes the flag's "keep scenario" sentinel of -1, so it must
 		// reach Validate and be rejected there.
 		t.Error("negative FrameParallel should fail validation")
+	}
+}
+
+func TestRunTraceCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	args := []string{"-preset", "smoke", "-sim-time", "3", "-data-users", "3", "-trace", path, "-trace-every", "25"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "frame,time_s,cell,") {
+		t.Fatalf("unexpected trace header %q", lines[0])
+	}
+	// 3 s / 20 ms = 150 frames, every 25th sampled, 7 cells (1 ring).
+	if want := 1 + 6*7; len(lines) != want {
+		t.Fatalf("trace has %d lines, want %d", len(lines), want)
+	}
+}
+
+func TestRunTraceJSONLAndMultiRep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	args := []string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-reps", "2", "-trace", path, "-trace-every", "50"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[0] != '{' {
+		t.Fatalf("expected JSONL output, got %q", string(data[:min(len(data), 40)]))
+	}
+}
+
+func TestRunTraceErrors(t *testing.T) {
+	if err := run([]string{"-preset", "smoke", "-trace-every", "-1"}); err == nil {
+		t.Error("negative -trace-every should fail")
+	}
+	missingDir := filepath.Join(t.TempDir(), "no", "such", "dir", "t.csv")
+	if err := run([]string{"-preset", "smoke", "-sim-time", "3", "-trace", missingDir}); err == nil {
+		t.Error("unwritable -trace path should fail")
 	}
 }

@@ -13,8 +13,14 @@
 //	jabasweep -grid paper-load-sweep -reps 4 -o curves.csv       # the paper's load axis
 //	jabasweep -preset smoke -axis speed=1:5,14:28 -format json
 //	jabasweep -grid paper-load-sweep -points                     # dry run: list the points
+//	jabasweep -preset smoke -axis datausers=2,4 -trace trace.csv # per-point telemetry
 //	jabasweep -list-grids                                        # built-in named grids
 //	jabasweep -list-axes                                         # axis syntax reference
+//
+// -trace additionally writes one frame-level telemetry CSV covering every
+// grid point: each point's replication 0 is traced (see internal/trace)
+// and its rows appear in grid order, prefixed with the point index and
+// label, so transient behaviour can be compared across the swept axis.
 package main
 
 import (
@@ -22,12 +28,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"jabasd/internal/report"
 	"jabasd/internal/scenario"
 	"jabasd/internal/sim"
 	"jabasd/internal/sweep"
+	"jabasd/internal/trace"
 )
 
 func main() {
@@ -61,6 +69,8 @@ func run(args []string, stdout io.Writer) error {
 		framePar   = fs.Int("frameparallel", -1, "per-run snapshot solve workers override: 0 = auto (GOMAXPROCS, but inline under a parallel reps/sweep fan-out), 1 = inline, -1 keeps each point's")
 		format     = fs.String("format", "csv", "output format: csv or json")
 		outPath    = fs.String("o", "", "output file (default stdout)")
+		tracePath  = fs.String("trace", "", "write per-frame per-cell telemetry of every point's replication 0 to this CSV file")
+		traceEvery = fs.Int("trace-every", 1, "sample every Nth frame into the -trace output")
 		dryRun     = fs.Bool("points", false, "list the expanded grid points and exit (dry run)")
 		listGrids  = fs.Bool("list-grids", false, "list the built-in named grids and exit")
 		listAxes   = fs.Bool("list-axes", false, "list the sweepable axes and exit")
@@ -78,6 +88,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *framePar < -1 {
 		return fmt.Errorf("-frameparallel must be >= 0 (or -1 to keep each point's), got %d", *framePar)
+	}
+	if *traceEvery < 0 {
+		return fmt.Errorf("-trace-every must be >= 0, got %d", *traceEvery)
 	}
 
 	if *listAxes {
@@ -171,8 +184,56 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
+
+	// Per-point telemetry: each point's replication 0 records into its own
+	// in-memory sink (points run concurrently; a sink is single-writer),
+	// and the rows stream to the trace file in grid order as each point
+	// emits, prefixed with the point index and label.
+	var traceFile *os.File
+	var traceSinks []*trace.Memory
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceFile = f
+		if _, err := io.WriteString(f, report.CSVLine(append([]string{"point", "label"}, trace.Columns()...))); err != nil {
+			return err
+		}
+		opts.TraceEvery = *traceEvery
+		opts.Trace = func(p sweep.Point) trace.Sink {
+			for len(traceSinks) <= p.Index {
+				traceSinks = append(traceSinks, &trace.Memory{})
+			}
+			return traceSinks[p.Index]
+		}
+	}
+	writePointTrace := func(r sweep.Result) error {
+		if traceFile == nil {
+			return nil
+		}
+		prefix := []string{strconv.Itoa(r.Index), r.Label()}
+		row := make([]string, 0, len(prefix)+len(trace.Columns()))
+		var sb strings.Builder
+		for _, rec := range traceSinks[r.Index].Records {
+			row = rec.AppendRow(append(row[:0], prefix...))
+			sb.WriteString(report.CSVLine(row))
+		}
+		// Release the point's records through the shared sink: the sweep
+		// runner holds the same *trace.Memory until the sweep finishes, so
+		// only clearing the slice inside it actually frees the memory.
+		traceSinks[r.Index].Records = nil
+		traceSinks[r.Index] = nil
+		_, err := io.WriteString(traceFile, sb.String())
+		return err
+	}
+
 	err = sweep.Stream(grid, opts, func(r sweep.Result) error {
 		fmt.Fprintf(os.Stderr, "point %d/%s done (%d reps)\n", r.Index, r.Label(), r.Agg.Replications)
+		if err := writePointTrace(r); err != nil {
+			return err
+		}
 		row := sweep.AppendCurveRow(tbl, r)
 		if *format == "csv" {
 			_, err := io.WriteString(w, report.CSVLine(row))
@@ -196,6 +257,12 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", tbl.NumRows(), *outPath)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -156,5 +157,51 @@ func TestFrameModeFlagConflictsWithFrameModeAxis(t *testing.T) {
 		"-framemode", "snapshot", "-points"}, &buf)
 	if err == nil || !strings.Contains(err.Error(), "framemode") {
 		t.Errorf("expected a framemode conflict error, got %v", err)
+	}
+}
+
+func TestSweepTraceFileDeterministicAcrossParallel(t *testing.T) {
+	dir := t.TempDir()
+	runTrace := func(name string, parallel string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		capture(t, "-preset", "smoke", "-axis", "datausers=2,4", "-reps", "2",
+			"-parallel", parallel, "-trace", path, "-trace-every", "50")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	one := runTrace("p1.csv", "1")
+	eight := runTrace("p8.csv", "8")
+	if one != eight {
+		t.Fatal("sweep trace depends on -parallel")
+	}
+	lines := strings.Split(strings.TrimSuffix(one, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "point,label,frame,") {
+		t.Fatalf("unexpected trace header %q", lines[0])
+	}
+	// Rows arrive in grid order: the point column never decreases, and both
+	// points appear.
+	last, seen := -1, map[string]bool{}
+	for _, line := range lines[1:] {
+		cells := strings.SplitN(line, ",", 3)
+		p, err := strconv.Atoi(cells[0])
+		if err != nil || p < last {
+			t.Fatalf("point column out of order at %q", line)
+		}
+		last = p
+		seen[cells[1]] = true
+	}
+	if !seen["datausers=2"] || !seen["datausers=4"] {
+		t.Fatalf("missing point labels, saw %v", seen)
+	}
+}
+
+func TestSweepTraceEveryValidation(t *testing.T) {
+	err := run([]string{"-preset", "smoke", "-axis", "datausers=2", "-trace-every", "-1"}, os.Stdout)
+	if err == nil {
+		t.Error("negative -trace-every should fail")
 	}
 }

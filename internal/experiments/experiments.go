@@ -1,10 +1,11 @@
-// Package experiments defines the reproducible experiment suite E1-E10
-// described in DESIGN.md: every evaluation claim and diagram of the paper is
-// mapped to a function that runs the necessary simulations or analytic
-// computations and returns a results table. The same functions back the
-// cmd/jabaexp binary (full scale) and the root-level benchmarks (quick
-// scale), so the numbers recorded in EXPERIMENTS.md can be regenerated with
-// either.
+// Package experiments defines the reproducible experiment suite E1-E12:
+// every evaluation claim and diagram of the paper is mapped to a function
+// that runs the necessary simulations or analytic computations and returns
+// a results table, and the transient experiments E11/E12 extend the suite
+// with the frame-level time-series view (internal/trace) the paper's
+// steady-state tables leave out. The same functions back the cmd/jabaexp
+// binary (full scale) and the root-level benchmarks (quick scale), so
+// recorded numbers can be regenerated with either.
 package experiments
 
 import (

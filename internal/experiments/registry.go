@@ -14,7 +14,7 @@ import (
 // (experiment-local rng sources, sim.Config.Seed per replication) — so the
 // tables are identical no matter how many experiments run concurrently.
 type Experiment struct {
-	// ID is the stable identifier (E1..E10) used by cmd/jabaexp -only.
+	// ID is the stable identifier (E1..E12) used by cmd/jabaexp -only.
 	ID string
 	// Title summarises what the experiment reproduces.
 	Title string
@@ -26,7 +26,7 @@ type Experiment struct {
 	Run func(Scale) (*report.Table, error)
 }
 
-// Registry returns the ordered experiment suite E1-E10. It is the single
+// Registry returns the ordered experiment suite E1-E12. It is the single
 // source of truth consumed by both All and cmd/jabaexp, so the two can never
 // drift apart.
 func Registry() []Experiment {
@@ -70,6 +70,14 @@ func Registry() []Experiment {
 		{
 			ID: "E10", Title: "MAC state set-up penalty effect",
 			Run: func(s Scale) (*report.Table, error) { return E10MacStates(s) },
+		},
+		{
+			ID: "E11", Title: "transient warm-up and convergence (frame-level telemetry)",
+			Run: func(s Scale) (*report.Table, error) { return E11WarmupConvergence(s) },
+		},
+		{
+			ID: "E12", Title: "offered-load step response (mid-run flash crowd)",
+			Run: func(s Scale) (*report.Table, error) { return E12LoadStepResponse(s) },
 		},
 	}
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"errors"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -11,8 +12,8 @@ import (
 
 func TestRegistryIDsStableAndUnique(t *testing.T) {
 	defs := Registry()
-	if len(defs) != 10 {
-		t.Fatalf("registry has %d experiments, want 10", len(defs))
+	if len(defs) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(defs))
 	}
 	seen := map[string]bool{}
 	for i, d := range defs {
@@ -36,12 +37,7 @@ func TestRegistryIDsStableAndUnique(t *testing.T) {
 	}
 }
 
-func itoa(n int) string {
-	if n == 10 {
-		return "10"
-	}
-	return string(rune('0' + n))
-}
+func itoa(n int) string { return strconv.Itoa(n) }
 
 func TestByID(t *testing.T) {
 	for _, id := range []string{"E1", "e1", " e10 "} {

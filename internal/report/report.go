@@ -1,6 +1,14 @@
-// Package report renders experiment results as aligned ASCII tables, CSV and
-// JSON — the formats the experiment harness (cmd/jabaexp, bench_test.go) and
-// the sweep harness (cmd/jabasweep) emit.
+// Package report renders experiment results as aligned ASCII tables, CSV
+// and JSON — the formats the experiment harness (cmd/jabaexp,
+// bench_test.go), the sweep harness (cmd/jabasweep) and the telemetry
+// sinks (internal/trace) emit.
+//
+// The Table type is deliberately string-typed: every cell is formatted
+// exactly once (formatCell), and the ASCII, CSV and JSON writers render
+// those same strings, so the three formats can never disagree about a
+// value and byte-for-byte determinism checks can diff any of them.
+// CSVLine is exported for callers that stream rows incrementally and need
+// each row identical to what a whole-table WriteCSV would have produced.
 package report
 
 import (

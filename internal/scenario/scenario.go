@@ -1,6 +1,14 @@
-// Package scenario provides named simulation presets and JSON round-tripping
-// of sim.Config, so the command-line tools can load and store complete
-// scenario descriptions.
+// Package scenario provides the named simulation presets shared by the
+// command-line tools (cmd/jabasim, cmd/jabasweep) and JSON round-tripping
+// of sim.Config, so complete scenario descriptions can be saved, edited
+// and loaded back.
+//
+// All presets derive from one table (the presets map), which Names,
+// Describe and Lookup read, so the three can never drift apart; every
+// preset is a mutation of sim.DefaultConfig, and decoding a JSON file
+// starts from the same defaults so unspecified fields keep their baseline
+// values. Every decoded or looked-up configuration is validated before it
+// is returned.
 package scenario
 
 import (

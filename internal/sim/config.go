@@ -14,9 +14,24 @@ import (
 	"jabasd/internal/channel"
 	"jabasd/internal/core"
 	"jabasd/internal/mac"
+	"jabasd/internal/trace"
 	"jabasd/internal/traffic"
 	"jabasd/internal/vtaoc"
 )
+
+// LoadStep describes a mid-run step change in the offered load: at
+// simulated time AtSec every data source switches its mean reading (think)
+// time to ReadingTimeSec — a shorter time means more frequent downloads, so
+// stepping it down models a flash crowd arriving. The current reading
+// period's remaining time is rescaled proportionally, so the step takes
+// effect immediately instead of one think-time later. The transient
+// experiment E12 uses this to measure the admission layer's step response.
+type LoadStep struct {
+	// AtSec is the simulated time the step applies (>= 0).
+	AtSec float64
+	// ReadingTimeSec is the new mean reading time in seconds (> 0).
+	ReadingTimeSec float64
+}
 
 // Direction selects which link the burst traffic uses.
 type Direction int
@@ -160,6 +175,24 @@ type Config struct {
 	// in sequential mode.
 	FrameParallel int
 
+	// Trace, when non-nil, receives per-frame per-cell telemetry records
+	// (offered/admitted bursts, cell load, queue length, solve status,
+	// burst-delay samples — see trace.Record). The engine wraps it in a
+	// trace.Recorder and emits only from its sequential sections, so the
+	// stream is byte-identical for any FrameParallel. Warm-up frames are
+	// included: transient analysis is what the trace is for. The sink is
+	// not part of the scenario (never serialised); RunReplications attaches
+	// it to replication 0 only, so a sink never sees interleaved engines.
+	Trace trace.Sink `json:"-"`
+	// TraceEvery samples every N-th frame into Trace (0 or 1 = every
+	// frame). Counters reset each frame, so a sampled row is that frame's
+	// activity, not an aggregate since the last sample.
+	TraceEvery int
+
+	// LoadStep, when non-nil, applies a mid-run offered-load step change
+	// (see LoadStep); nil leaves the traffic stationary.
+	LoadStep *LoadStep
+
 	// Coverage accounting: a completed burst counts as "covered" when its
 	// average served rate meets this fraction of the FCH rate.
 	CoverageRateFraction float64
@@ -266,6 +299,17 @@ func (c Config) Validate() error {
 	}
 	if c.FrameParallel < 0 {
 		return errors.New("sim: FrameParallel must be >= 0")
+	}
+	if c.TraceEvery < 0 {
+		return errors.New("sim: TraceEvery must be >= 0")
+	}
+	if ls := c.LoadStep; ls != nil {
+		if ls.AtSec < 0 || ls.AtSec >= c.SimTime {
+			return errors.New("sim: LoadStep.AtSec must be in [0, SimTime)")
+		}
+		if ls.ReadingTimeSec <= 0 {
+			return errors.New("sim: LoadStep.ReadingTimeSec must be positive")
+		}
 	}
 	if c.UseFixedRatePHY && (c.FixedRateMode < 1 || c.FixedRateMode > c.VTAOC.NumModes) {
 		return errors.New("sim: FixedRateMode out of range")

@@ -14,6 +14,7 @@ import (
 	"jabasd/internal/mobility"
 	"jabasd/internal/rng"
 	"jabasd/internal/stream"
+	"jabasd/internal/trace"
 	"jabasd/internal/traffic"
 	"jabasd/internal/vtaoc"
 )
@@ -124,9 +125,32 @@ type Engine struct {
 	active  []int
 	grants  []cellGrants
 
+	// Telemetry, nil/empty when cfg.Trace is unset: the recorder wrapping
+	// the configured sink and the per-cell frame counters, reset every
+	// frame. All writes happen on the engine's sequential sections (gather
+	// results are copied out of the per-cell grant slots), so the trace is
+	// byte-identical for any FrameParallel.
+	rec        *trace.Recorder
+	traceCells []traceCell
+
+	// loadStepDone latches cfg.LoadStep so the step applies exactly once.
+	loadStepDone bool
+
 	metrics *Metrics
 	now     float64
 	frame   int
+}
+
+// traceCell accumulates one cell's telemetry counters for the current
+// frame; see trace.Record for the field semantics.
+type traceCell struct {
+	offered      int
+	admitted     int
+	grantedRatio int
+	completed    int
+	delaySum     float64
+	active       int
+	solve        string
 }
 
 // admitScratch is one admission worker's per-cell working set: the queue
@@ -155,6 +179,7 @@ type frameWorker struct {
 type cellGrants struct {
 	cell    int
 	skipped bool // region build or scheduler failed; counted, not granted
+	offered int  // live requests gathered, for the telemetry trace
 	users   []*dataUser
 	ratios  []int
 }
@@ -201,6 +226,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.queues[k] = traffic.NewQueue()
 	}
 	e.loads = load.NewLedger(layout.NumCells())
+	if cfg.Trace != nil {
+		e.rec = trace.NewRecorder(cfg.Trace, cfg.TraceEvery)
+		e.traceCells = make([]traceCell, layout.NumCells())
+	}
 	if cfg.FrameMode.normalize() == FrameSnapshot {
 		cl, ok := sched.(core.Cloner)
 		if !ok {
@@ -287,12 +316,21 @@ func (e *Engine) Run() (*Metrics, error) {
 	}
 	e.metrics.QueueLength.Finish(e.now)
 	e.metrics.ObservedTime = e.cfg.SimTime - e.cfg.WarmupTime
+	if e.rec != nil {
+		if err := e.rec.Flush(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
 	return e.metrics, nil
 }
 
 // step advances the system by one frame.
 func (e *Engine) step() {
 	dt := e.cfg.FrameLength
+	if e.traceCells != nil {
+		clear(e.traceCells)
+	}
+	e.applyLoadStep()
 	e.updateVoice(dt)
 	e.updateUsers(dt)
 	e.generateTraffic(dt)
@@ -300,7 +338,22 @@ func (e *Engine) step() {
 	e.serveBursts(dt)
 	e.admit()
 	e.collect()
+	e.emitTrace()
 	e.frame++
+}
+
+// applyLoadStep switches every data source to the stepped reading time the
+// first frame at or after LoadStep.AtSec. It runs before traffic generation
+// so the step's first frame already offers load at the new rate.
+func (e *Engine) applyLoadStep() {
+	ls := e.cfg.LoadStep
+	if ls == nil || e.loadStepDone || e.now < ls.AtSec {
+		return
+	}
+	for _, u := range e.users {
+		u.source.SetMeanReadingTime(ls.ReadingTimeSec)
+	}
+	e.loadStepDone = true
 }
 
 // updateVoice advances voice activity and positions.
@@ -486,15 +539,23 @@ func (e *Engine) serveBursts(dt float64) {
 func (e *Engine) completeBurst(b *burst) {
 	u := b.user
 	req := u.queuedReq
-	if e.now >= e.cfg.WarmupTime && req != nil {
+	if req != nil {
 		delay := e.now + e.cfg.FrameLength - req.ArrivalTime
-		e.metrics.BurstDelay.Add(delay)
-		e.metrics.BurstsCompleted++
-		if b.serviceTime > 0 {
-			avgRate := b.servedBits / b.serviceTime
-			e.metrics.ServedRate.Add(avgRate)
-			if avgRate >= e.cfg.CoverageRateFraction*e.cfg.RatePlan.FCHBitRate() {
-				e.metrics.CoveredBursts++
+		if e.traceCells != nil {
+			// The trace keeps warm-up samples: transients are its purpose.
+			tc := &e.traceCells[u.queuedCell]
+			tc.completed++
+			tc.delaySum += delay
+		}
+		if e.now >= e.cfg.WarmupTime {
+			e.metrics.BurstDelay.Add(delay)
+			e.metrics.BurstsCompleted++
+			if b.serviceTime > 0 {
+				avgRate := b.servedBits / b.serviceTime
+				e.metrics.ServedRate.Add(avgRate)
+				if avgRate >= e.cfg.CoverageRateFraction*e.cfg.RatePlan.FCHBitRate() {
+					e.metrics.CoveredBursts++
+				}
 			}
 		}
 	}
@@ -528,14 +589,32 @@ func (e *Engine) admitSequential() {
 		if !e.gatherCell(k, &e.admitScratch, loads) {
 			continue
 		}
+		e.traceSolve(k, len(e.admitScratch.reqs), false)
 		assignment, err := e.solveCell(&e.admitScratch, &e.regionB, e.scheduler, loads)
 		if err != nil {
 			// Skip this cell this frame rather than abort the run, but leave
 			// a trace: a persistently skipped cell is a misconfiguration.
 			e.metrics.SkippedCells++
+			e.traceSolve(k, len(e.admitScratch.reqs), true)
 			continue
 		}
-		e.commitCell(queue, e.admitScratch.users, assignment.Ratios)
+		e.commitCell(k, queue, e.admitScratch.users, assignment.Ratios)
+	}
+}
+
+// traceSolve records one cell's admission outcome for the telemetry trace:
+// the number of live requests gathered and whether the solve was abandoned.
+// Cells that never gathered a live request stay at trace.SolveIdle.
+func (e *Engine) traceSolve(cell, offered int, skipped bool) {
+	if e.traceCells == nil {
+		return
+	}
+	tc := &e.traceCells[cell]
+	tc.offered = offered
+	if skipped {
+		tc.solve = trace.SolveSkipped
+	} else if offered > 0 {
+		tc.solve = trace.SolveOK
 	}
 }
 
@@ -566,11 +645,13 @@ func (e *Engine) admitSnapshot() {
 		g := &e.grants[i]
 		g.cell = k
 		g.skipped = false
+		g.offered = 0
 		g.users = g.users[:0]
 		g.ratios = g.ratios[:0]
 		if !e.gatherCell(k, &fw.scratch, loads) {
 			return
 		}
+		g.offered = len(fw.scratch.reqs)
 		if cs, ok := fw.sched.(core.CellSeeder); ok {
 			cs.SeedCell(uint64(e.frame), uint64(k))
 		}
@@ -595,11 +676,12 @@ func (e *Engine) admitSnapshot() {
 	}
 	for i := range e.active {
 		g := &e.grants[i]
+		e.traceSolve(g.cell, g.offered, g.skipped)
 		if g.skipped {
 			e.metrics.SkippedCells++
 			continue
 		}
-		e.commitCell(e.queues[g.cell], g.users, g.ratios)
+		e.commitCell(g.cell, e.queues[g.cell], g.users, g.ratios)
 	}
 }
 
@@ -704,14 +786,18 @@ func (e *Engine) solveCell(s *admitScratch, rb *measurement.RegionBuilder, sched
 	})
 }
 
-// commitCell applies one cell's grants: granted requests leave the queue,
+// commitCell applies cell k's grants: granted requests leave the queue,
 // bursts start with their per-cell footprint frozen, and the live ledger
 // and admission statistics are updated. users[j] receives ratios[j]; zero
 // ratios are no-ops.
-func (e *Engine) commitCell(queue *traffic.Queue, users []*dataUser, ratios []int) {
+func (e *Engine) commitCell(k int, queue *traffic.Queue, users []*dataUser, ratios []int) {
 	for j, m := range ratios {
 		if m <= 0 {
 			continue
+		}
+		if e.traceCells != nil {
+			e.traceCells[k].admitted++
+			e.traceCells[k].grantedRatio += m
 		}
 		u := users[j]
 		item := u.queuedReq
@@ -762,6 +848,44 @@ func (e *Engine) collect() {
 		total += q.Len()
 	}
 	e.metrics.QueueLength.Observe(e.now, float64(total))
+}
+
+// emitTrace appends one telemetry record per cell for a sampled frame. It
+// runs at the end of step, after serve/admit/collect, so the records see
+// the frame's completed bursts, the committed grants and the end-of-frame
+// queue lengths and loads.
+func (e *Engine) emitTrace() {
+	if e.rec == nil || !e.rec.Sampled(e.frame) {
+		return
+	}
+	for _, b := range e.bursts {
+		e.traceCells[b.user.queuedCell].active++
+	}
+	budget := e.cfg.MaxCellPowerW
+	if e.cfg.Direction == Reverse {
+		budget = e.cfg.ReverseRiseLimit
+	}
+	for k := range e.traceCells {
+		tc := &e.traceCells[k]
+		solve := tc.solve
+		if solve == "" {
+			solve = trace.SolveIdle
+		}
+		e.rec.Emit(trace.Record{
+			Frame:        e.frame,
+			TimeS:        e.now,
+			Cell:         k,
+			Offered:      tc.offered,
+			Admitted:     tc.admitted,
+			GrantedRatio: tc.grantedRatio,
+			Completed:    tc.completed,
+			DelaySumS:    tc.delaySum,
+			QueueLen:     e.queues[k].Len(),
+			ActiveBursts: tc.active,
+			Load:         e.loads.Get(k) / budget,
+			Solve:        solve,
+		})
+	}
 }
 
 // userByID finds a data user by identifier.

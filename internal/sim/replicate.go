@@ -32,6 +32,12 @@ func runReplications(cfg Config, n int, runOne func(Config) (*Metrics, error)) (
 			repCfg := cfg
 			repCfg.Seed = cfg.Seed + uint64(i)
 			repCfg.FrameParallel = ResolveFrameParallel(cfg, n)
+			if i != 0 {
+				// Replications run concurrently but a trace.Sink is
+				// single-writer; replication 0 keeps the telemetry, the
+				// rest run untraced.
+				repCfg.Trace = nil
+			}
 			m, err := runOne(repCfg)
 			if err != nil {
 				return fmt.Errorf("sim: replication %d failed: %w", i, err)

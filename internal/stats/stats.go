@@ -1,6 +1,14 @@
 // Package stats provides the streaming and batch statistics used to report
-// simulation results: Welford running moments, histograms, quantiles,
-// batch-means confidence intervals and time-weighted averages.
+// simulation results: Welford running moments (Running), raw-sample
+// quantiles (Sample), fixed-bin histograms, Student-t confidence
+// intervals for the handful-of-replications case, and time-weighted
+// averages of piecewise-constant signals (TimeWeighted).
+//
+// Zero values are ready to use, and every accessor is total: empty
+// accumulators report 0 rather than NaN, because the simulator prints
+// these values verbatim into tables and CSV files (see the edge-case
+// tests in internal/sim). Accumulators are not safe for concurrent
+// mutation; Running.Merge supports parallel reduction instead.
 package stats
 
 import (

@@ -5,6 +5,7 @@ import (
 
 	"jabasd/internal/sim"
 	"jabasd/internal/stream"
+	"jabasd/internal/trace"
 )
 
 // Options controls a sweep run.
@@ -22,6 +23,15 @@ type Options struct {
 	// Mutate, when set, is applied to every point's configuration before
 	// seeding and running — CI and tests use it to shrink simulated time.
 	Mutate func(*sim.Config)
+	// Trace, when set, is called once per expanded point (in grid order,
+	// before any point runs) and returns the telemetry sink that point's
+	// replication 0 writes to, or nil for no trace. Each point needs its
+	// own sink — points run concurrently and a trace.Sink is
+	// single-writer; a point's sink is complete once Stream emits the
+	// point. TraceEvery is the sampling period in frames (0/1 = every
+	// frame) for every traced point.
+	Trace      func(p Point) trace.Sink
+	TraceEvery int
 }
 
 // Result is one completed grid point: the point plus the across-replication
@@ -64,6 +74,10 @@ func Stream(g Grid, opts Options, emit func(Result) error) error {
 	// Freeze every point's final configuration (mutation + seed) up front so
 	// the work items are pure functions of their indices.
 	cfgs := make([]sim.Config, len(points))
+	var sinks []trace.Sink
+	if opts.Trace != nil {
+		sinks = make([]trace.Sink, len(points))
+	}
 	for i, p := range points {
 		cfg := p.Config
 		if opts.Mutate != nil {
@@ -88,6 +102,9 @@ func Stream(g Grid, opts Options, emit func(Result) error) error {
 		}
 		cfgs[i] = cfg
 		points[i].Config = cfg
+		if sinks != nil {
+			sinks[i] = opts.Trace(points[i])
+		}
 	}
 
 	n := len(points) * reps
@@ -98,6 +115,14 @@ func Stream(g Grid, opts Options, emit func(Result) error) error {
 			p, r := item/reps, item%reps
 			cfg := cfgs[p]
 			cfg.Seed += uint64(r)
+			if r != 0 {
+				// Replications of a point run concurrently; only
+				// replication 0 carries the point's telemetry sink.
+				cfg.Trace = nil
+			} else if sinks != nil && sinks[p] != nil {
+				cfg.Trace = sinks[p]
+				cfg.TraceEvery = opts.TraceEvery
+			}
 			m, err := sim.Run(cfg)
 			if err != nil {
 				return fmt.Errorf("sweep: point %d (%s) replication %d: %w",

@@ -1,0 +1,64 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"jabasd/internal/sim"
+	"jabasd/internal/trace"
+)
+
+// TestStreamTracesReplicationZeroPerPoint pins the sweep trace contract:
+// every point gets its own sink, only replication 0 writes to it, and the
+// records are independent of the worker count.
+func TestStreamTracesReplicationZeroPerPoint(t *testing.T) {
+	g, err := New("smoke", []string{"datausers=2,4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(parallel int) []*trace.Memory {
+		var sinks []*trace.Memory
+		opts := Options{
+			Reps:     2,
+			Parallel: parallel,
+			Mutate:   func(c *sim.Config) { c.SimTime, c.WarmupTime = 2, 0.5 },
+			Trace: func(p Point) trace.Sink {
+				for len(sinks) <= p.Index {
+					sinks = append(sinks, &trace.Memory{})
+				}
+				return sinks[p.Index]
+			},
+			TraceEvery: 10,
+		}
+		if err := Stream(g, opts, func(Result) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		return sinks
+	}
+	sinks := collect(1)
+	if len(sinks) != 2 {
+		t.Fatalf("got %d sinks, want one per point", len(sinks))
+	}
+	for i, mem := range sinks {
+		if len(mem.Records) == 0 {
+			t.Fatalf("point %d traced no records", i)
+		}
+		seen := map[[2]int]bool{}
+		for _, r := range mem.Records {
+			key := [2]int{r.Frame, r.Cell}
+			if seen[key] {
+				t.Fatalf("point %d: (frame %d, cell %d) twice — a second replication wrote the sink", i, r.Frame, r.Cell)
+			}
+			seen[key] = true
+			if r.Frame%10 != 0 {
+				t.Fatalf("point %d recorded unsampled frame %d", i, r.Frame)
+			}
+		}
+	}
+	parallel := collect(8)
+	for i := range sinks {
+		if !reflect.DeepEqual(sinks[i].Records, parallel[i].Records) {
+			t.Fatalf("point %d trace depends on Parallel", i)
+		}
+	}
+}

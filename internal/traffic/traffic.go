@@ -174,6 +174,23 @@ func (d *DataModel) Advance(dt float64, now float64) *BurstRequest {
 	return req
 }
 
+// SetMeanReadingTime changes the mean reading (think) time used for every
+// future reading period — a mid-run offered-load step (sim.LoadStep). If
+// the source is currently reading, the remaining think time is rescaled
+// proportionally so the step changes the offered load immediately instead
+// of one full think-time later; because the exponential distribution is
+// closed under scaling, the rescaled remainder is statistically exactly a
+// fresh draw at the new mean. Non-positive values are ignored.
+func (d *DataModel) SetMeanReadingTime(sec float64) {
+	if sec <= 0 || sec == d.cfg.MeanReadingTimeSec {
+		return
+	}
+	if d.thinking && d.cfg.MeanReadingTimeSec > 0 {
+		d.thinkLeft *= sec / d.cfg.MeanReadingTimeSec
+	}
+	d.cfg.MeanReadingTimeSec = sec
+}
+
 // BurstDone tells the source its outstanding request has been fully served;
 // it returns to the reading state.
 func (d *DataModel) BurstDone() {
