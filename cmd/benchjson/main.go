@@ -1,0 +1,134 @@
+// Command benchjson converts `go test -bench -benchmem` text output into a
+// machine-readable JSON map, so CI can upload the benchmark trajectory as an
+// artifact (BENCH_<pr>.json) that future PRs diff against.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchjson -o BENCH.json
+//	benchjson -o BENCH.json bench-head.txt
+//
+// The output maps each benchmark name (including the -cpu suffix) to its
+// mean ns/op, B/op and allocs/op across the repetitions present in the
+// input (`-count N` runs emit one line per repetition).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// metrics is one benchmark's aggregated result.
+type metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Count       int     `json:"count"` // repetitions averaged
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var in io.Reader = os.Stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	agg, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(agg) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	data, err := json.MarshalIndent(agg, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// parse reads `go test -bench` output and averages the per-repetition lines
+// of each benchmark. Lines look like
+//
+//	BenchmarkName-8   200   326430 ns/op   407120 B/op   3342 allocs/op
+//
+// where the B/op and allocs/op columns require -benchmem and are optional.
+func parse(r io.Reader) (map[string]metrics, error) {
+	type sum struct {
+		ns, b, allocs float64
+		n             int
+	}
+	sums := map[string]*sum{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		s := sums[fields[0]]
+		if s == nil {
+			s = &sum{}
+			sums[fields[0]] = s
+		}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q for %s", fields[i], fields[0])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.ns += v
+				ok = true
+			case "B/op":
+				s.b += v
+			case "allocs/op":
+				s.allocs += v
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("no ns/op column on line %q", sc.Text())
+		}
+		s.n++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// json.Marshal sorts map keys, so the output is deterministic as-is.
+	out := make(map[string]metrics, len(sums))
+	for name, s := range sums {
+		out[name] = metrics{
+			NsPerOp:     s.ns / float64(s.n),
+			BytesPerOp:  s.b / float64(s.n),
+			AllocsPerOp: s.allocs / float64(s.n),
+			Count:       s.n,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAveragesRepetitions(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+BenchmarkFoo-8   	     200	    100 ns/op	  400 B/op	    10 allocs/op
+BenchmarkFoo-8   	     200	    300 ns/op	  600 B/op	    20 allocs/op
+BenchmarkBar/sub-8 	       2	  50000 ns/op
+PASS
+ok  	jabasd	0.1s
+`
+	got, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	foo, ok := got["BenchmarkFoo-8"]
+	if !ok {
+		t.Fatalf("BenchmarkFoo-8 missing from %v", got)
+	}
+	if foo.NsPerOp != 200 || foo.BytesPerOp != 500 || foo.AllocsPerOp != 15 || foo.Count != 2 {
+		t.Errorf("BenchmarkFoo-8 = %+v, want mean of the two repetitions", foo)
+	}
+	bar, ok := got["BenchmarkBar/sub-8"]
+	if !ok {
+		t.Fatalf("BenchmarkBar/sub-8 missing from %v", got)
+	}
+	if bar.NsPerOp != 50000 || bar.BytesPerOp != 0 || bar.Count != 1 {
+		t.Errorf("BenchmarkBar/sub-8 = %+v", bar)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkBad-8  200  xyz ns/op\n")); err == nil {
+		t.Error("malformed value should error")
+	}
+}
+
+func TestParseSkipsNonBenchmarkLines(t *testing.T) {
+	got, err := parse(strings.NewReader("nothing to see\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("expected empty map, got %v", got)
+	}
+}

@@ -13,12 +13,18 @@
 // chosen base configuration. -trace streams per-frame, per-cell telemetry
 // (see internal/trace) to a file — CSV by default, JSON Lines when the path
 // ends in .jsonl; with -reps > 1 only replication 0 is traced.
+//
+// -cpuprofile and -memprofile write standard runtime/pprof profiles covering
+// the simulation (the scenario set-up and report printing are excluded from
+// the CPU profile); inspect them with `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"jabasd/internal/scenario"
@@ -50,6 +56,8 @@ func run(args []string) error {
 		framePar    = fs.Int("frameparallel", -1, "snapshot-mode solve workers: 0 = auto (GOMAXPROCS, but inline under a parallel reps/sweep fan-out), 1 = inline, -1 keeps the scenario's")
 		tracePath   = fs.String("trace", "", "write per-frame per-cell telemetry to this file (CSV, or JSONL when the path ends in .jsonl); replication 0 only when -reps > 1")
 		traceEvery  = fs.Int("trace-every", 1, "sample every Nth frame into the -trace output")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile (allocation attribution) to this file when the simulation finishes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +129,43 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	// finishProfiles runs after the simulation so the CPU profile covers the
+	// frame loop but not the report printing. The heap profile is written
+	// after the run (and a forced GC), so its value is the cumulative
+	// allocation attribution (alloc_space/alloc_objects), not the live set —
+	// the engine is already unreachable by then.
+	finishProfiles := func() error {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *cpuProfile)
+		}
+		if *memProfile == "" {
+			return nil
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap statistics before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "heap profile written to %s\n", *memProfile)
+		return nil
+	}
+
 	var traceFile *os.File
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -154,6 +199,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if err := finishProfiles(); err != nil {
+			return err
+		}
 		if err := closeTrace(); err != nil {
 			return err
 		}
@@ -162,6 +210,9 @@ func run(args []string) error {
 	}
 	agg, err := sim.RunReplications(cfg, *reps)
 	if err != nil {
+		return err
+	}
+	if err := finishProfiles(); err != nil {
 		return err
 	}
 	if err := closeTrace(); err != nil {

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"jabasd/internal/mac"
+	"jabasd/internal/measurement"
+	"jabasd/internal/race"
+	"jabasd/internal/rng"
+)
+
+// allocProblem builds an engine-shaped admission problem: several requests,
+// multiple binding cells and an attached MAC configuration (the engine always
+// passes one), so the gate exercises the same paths as the frame loop.
+func allocProblem(nd, cells int, seed uint64) Problem {
+	src := rng.New(seed)
+	macCfg := mac.DefaultConfig()
+	reqs := make([]Request, nd)
+	coeff := make([][]float64, cells)
+	bound := make([]float64, cells)
+	cellIdx := make([]int, cells)
+	for i := 0; i < cells; i++ {
+		coeff[i] = make([]float64, nd)
+		bound[i] = src.Uniform(5, 15)
+		cellIdx[i] = i
+	}
+	for j := 0; j < nd; j++ {
+		reqs[j] = Request{
+			UserID:        j,
+			SizeBits:      src.Uniform(1e5, 2e6),
+			WaitingTime:   src.Uniform(0, 12),
+			AvgThroughput: src.Uniform(0.05, 1),
+			MaxRatio:      16,
+		}
+		coeff[src.Intn(cells)][j] = src.Uniform(0.1, 1)
+		coeff[src.Intn(cells)][j] = src.Uniform(0.1, 1)
+	}
+	return Problem{
+		Requests:  reqs,
+		Region:    measurement.Region{Coeff: coeff, Bound: bound, Cells: cellIdx},
+		MaxRatio:  16,
+		Objective: DefaultObjective(),
+		MAC:       &macCfg,
+	}
+}
+
+// TestJABASDScheduleAllocs is the allocation-regression gate for the exact
+// scheduler: with the owned ilp.Solver and scratch warm, the only permitted
+// steady-state allocation is the returned Ratios slice (the assignment must
+// outlive the scheduler's buffers). Runs in CI via `go test ./...`.
+func TestJABASDScheduleAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	p := allocProblem(8, 3, 12345)
+	s := NewJABASD()
+	s.GreedyFallbackSize = 0 // force the exact branch-and-bound path
+	schedule := func() {
+		if _, err := s.Schedule(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	schedule() // grow solver arenas and scratch to the high-water mark
+	if allocs := testing.AllocsPerRun(50, schedule); allocs > 1 {
+		t.Errorf("JABASD.Schedule allocates %v times per frame in the steady state, want <= 1 (the returned Ratios)", allocs)
+	}
+}
+
+// TestGreedyJABASDScheduleAllocs gates the greedy fallback the same way —
+// it carries the heavy-load scenarios, so its allocation budget matters as
+// much as the exact path's.
+func TestGreedyJABASDScheduleAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	p := allocProblem(20, 4, 999)
+	s := &GreedyJABASD{}
+	schedule := func() {
+		if _, err := s.Schedule(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	schedule()
+	if allocs := testing.AllocsPerRun(50, schedule); allocs > 1 {
+		t.Errorf("GreedyJABASD.Schedule allocates %v times per frame in the steady state, want <= 1 (the returned Ratios)", allocs)
+	}
+}

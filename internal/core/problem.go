@@ -146,14 +146,24 @@ func (o Objective) Value(requests []Request, m []int) float64 {
 // delay penalty contributes +Lambda·w_j·bp_j/RateScale per unit of m_j (the
 // linear part) and a constant −Σ Lambda·w_j that does not affect the argmax.
 func (o Objective) utilityCoefficients(requests []Request) []float64 {
-	c := make([]float64, len(requests))
+	return o.utilityCoefficientsInto(nil, requests)
+}
+
+// utilityCoefficientsInto is utilityCoefficients writing into dst, which is
+// grown as needed and returned; the schedulers reuse their scratch through
+// it so the per-frame solve does not allocate.
+func (o Objective) utilityCoefficientsInto(dst []float64, requests []Request) []float64 {
+	if cap(dst) < len(requests) {
+		dst = make([]float64, len(requests))
+	}
+	dst = dst[:len(requests)]
 	for j, req := range requests {
-		c[j] = req.AvgThroughput * (1 + req.Priority)
+		dst[j] = req.AvgThroughput * (1 + req.Priority)
 		if o.Kind == ObjectiveDelayAware && o.RateScale > 0 {
-			c[j] += o.Lambda * req.OverallDelay() * req.AvgThroughput / o.RateScale
+			dst[j] += o.Lambda * req.OverallDelay() * req.AvgThroughput / o.RateScale
 		}
 	}
-	return c
+	return dst
 }
 
 // Problem is one frame's multiple-burst admission problem for a cell: the
@@ -199,17 +209,39 @@ func (p Problem) effectiveRequests() []Request {
 	if p.MAC == nil {
 		return p.Requests
 	}
-	out := make([]Request, len(p.Requests))
-	copy(out, p.Requests)
-	for i := range out {
-		out[i].SetupDelay = p.MAC.SetupDelay(out[i].WaitingTime)
+	return p.effectiveRequestsInto(nil)
+}
+
+// effectiveRequestsInto is effectiveRequests writing the recomputed copy
+// into buf (grown as needed). Like effectiveRequests it returns p.Requests
+// itself when no MAC configuration is attached, so callers must not mutate
+// the result.
+func (p Problem) effectiveRequestsInto(buf []Request) []Request {
+	if p.MAC == nil {
+		return p.Requests
 	}
-	return out
+	if cap(buf) < len(p.Requests) {
+		buf = make([]Request, len(p.Requests))
+	}
+	buf = buf[:len(p.Requests)]
+	copy(buf, p.Requests)
+	for i := range buf {
+		buf[i].SetupDelay = p.MAC.SetupDelay(buf[i].WaitingTime)
+	}
+	return buf
 }
 
 // upperBounds returns the per-request upper bound min{MaxRatio, request.MaxRatio}.
 func (p Problem) upperBounds() []int {
-	ub := make([]int, len(p.Requests))
+	return p.upperBoundsInto(nil)
+}
+
+// upperBoundsInto is upperBounds writing into dst, grown as needed.
+func (p Problem) upperBoundsInto(dst []int) []int {
+	if cap(dst) < len(p.Requests) {
+		dst = make([]int, len(p.Requests))
+	}
+	dst = dst[:len(p.Requests)]
 	for j, r := range p.Requests {
 		u := r.MaxRatio
 		if u > p.MaxRatio {
@@ -218,20 +250,39 @@ func (p Problem) upperBounds() []int {
 		if u < 0 {
 			u = 0
 		}
-		ub[j] = u
+		dst[j] = u
 	}
-	return ub
+	return dst
 }
 
-// toILP assembles the integer linear programme of Section 3.2.
-func (p Problem) toILP() ilp.Problem {
-	reqs := p.effectiveRequests()
+// ilpScratch holds the buffers one scheduler instance reuses to assemble the
+// frame's integer programme (and, for the greedy ascent, its working
+// vectors) without allocating. Each scheduler owns its scratch; clones get a
+// fresh one (see Cloner).
+type ilpScratch struct {
+	reqs []Request
+	util []float64
+	ub   []int
+}
+
+// toILP assembles the integer linear programme of Section 3.2 into the
+// scratch buffers and returns it together with the effective (MAC-adjusted)
+// requests. The returned problem's C and Upper alias the scratch; A and B
+// alias the problem's region rows, which the solvers never mutate.
+func (p Problem) toILP(sc *ilpScratch) (ilp.Problem, []Request) {
+	reqs := p.Requests
+	if p.MAC != nil {
+		sc.reqs = p.effectiveRequestsInto(sc.reqs)
+		reqs = sc.reqs
+	}
+	sc.util = p.Objective.utilityCoefficientsInto(sc.util, reqs)
+	sc.ub = p.upperBoundsInto(sc.ub)
 	return ilp.Problem{
-		C:     p.Objective.utilityCoefficients(reqs),
+		C:     sc.util,
 		A:     p.Region.Coeff,
 		B:     p.Region.Bound,
-		Upper: p.upperBounds(),
-	}
+		Upper: sc.ub,
+	}, reqs
 }
 
 // Assignment is the scheduler output: the spreading ratio granted to each

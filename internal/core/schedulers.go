@@ -61,11 +61,21 @@ var ErrInvalidProblem = errors.New("core: invalid problem")
 // utility of every request already reflects the channel-adaptive physical
 // layer through bp_j, so good-channel users are naturally favoured by J1
 // while J2 folds the waiting time back in.
+//
+// A JABASD owns a warm ilp.Solver and the scratch buffers the programme is
+// assembled into, so its steady-state Schedule performs a single allocation
+// (the returned Ratios slice; pinned by TestJABASDScheduleAllocs). It is not
+// safe for concurrent use — the snapshot frame mode gives each worker its
+// own instance via Clone.
 type JABASD struct {
 	// GreedyFallbackSize is the request count above which the scheduler
 	// switches to the greedy heuristic to bound per-frame work. Zero means
 	// always exact.
 	GreedyFallbackSize int
+
+	solver  ilp.Solver
+	scratch ilpScratch
+	greedy  GreedyJABASD // fallback instance, reused across frames
 }
 
 // NewJABASD returns the exact JABA-SD scheduler with a greedy fallback for
@@ -75,11 +85,10 @@ func NewJABASD() *JABASD { return &JABASD{GreedyFallbackSize: 12} }
 // Name implements Scheduler.
 func (s *JABASD) Name() string { return "JABA-SD" }
 
-// Clone implements Cloner. JABASD keeps no per-frame state, so a copy of the
-// configuration is a fully independent instance.
+// Clone implements Cloner. The clone carries the configuration but owns a
+// fresh solver and scratch, so it shares no mutable state with the receiver.
 func (s *JABASD) Clone() Scheduler {
-	c := *s
-	return &c
+	return &JABASD{GreedyFallbackSize: s.GreedyFallbackSize}
 }
 
 // Schedule implements Scheduler.
@@ -91,15 +100,15 @@ func (s *JABASD) Schedule(p Problem) (Assignment, error) {
 		return Assignment{Ratios: []int{}, Scheduler: s.Name()}, nil
 	}
 	if s.GreedyFallbackSize > 0 && len(p.Requests) > s.GreedyFallbackSize {
-		g := &GreedyJABASD{}
-		a, err := g.Schedule(p)
+		a, err := s.greedy.Schedule(p)
 		if err != nil {
 			return Assignment{}, err
 		}
 		a.Scheduler = s.Name()
 		return a, nil
 	}
-	res, err := ilp.BranchAndBound(p.toILP())
+	prob, reqs := p.toILP(&s.scratch)
+	res, err := s.solver.Solve(prob)
 	if err != nil {
 		return Assignment{}, err
 	}
@@ -109,13 +118,14 @@ func (s *JABASD) Schedule(p Problem) (Assignment, error) {
 		zero := make([]int, len(p.Requests))
 		return Assignment{
 			Ratios:    zero,
-			Objective: p.Objective.Value(p.effectiveRequests(), zero),
+			Objective: p.Objective.Value(reqs, zero),
 			Scheduler: s.Name(),
 		}, nil
 	}
+	ratios := append([]int(nil), res.X...) // res.X aliases the solver's buffer
 	return Assignment{
-		Ratios:    res.X,
-		Objective: p.Objective.Value(p.effectiveRequests(), res.X),
+		Ratios:    ratios,
+		Objective: p.Objective.Value(reqs, ratios),
 		Scheduler: s.Name(),
 	}, nil
 }
@@ -131,13 +141,42 @@ func (s *JABASD) Schedule(p Problem) (Assignment, error) {
 // non-negative, this is a classic greedy for a multi-dimensional knapsack;
 // it is optimal when a single constraint binds and near-optimal otherwise
 // (verified against the exact solver in the tests and benchmarks).
-type GreedyJABASD struct{}
+//
+// The working vectors live in owned scratch buffers reused across frames, so
+// the steady-state Schedule performs a single allocation (the returned
+// Ratios slice). Not safe for concurrent use; Clone hands out independent
+// instances.
+type GreedyJABASD struct {
+	scratch ilpScratch
+	m       []int
+	single  []int
+	bestM   []int
+	head    []float64
+	headS   []float64
+}
 
 // Name implements Scheduler.
 func (s *GreedyJABASD) Name() string { return "JABA-SD-greedy" }
 
-// Clone implements Cloner.
+// Clone implements Cloner. The clone owns fresh scratch.
 func (s *GreedyJABASD) Clone() Scheduler { return &GreedyJABASD{} }
+
+// resize readies the integer scratch vectors for n requests, zeroed.
+func (s *GreedyJABASD) resize(n int) {
+	grow := func(buf []int) []int {
+		if cap(buf) < n {
+			return make([]int, n)
+		}
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	s.m = grow(s.m)
+	s.single = grow(s.single)
+	s.bestM = grow(s.bestM)
+}
 
 // Schedule implements Scheduler.
 func (s *GreedyJABASD) Schedule(p Problem) (Assignment, error) {
@@ -145,18 +184,26 @@ func (s *GreedyJABASD) Schedule(p Problem) (Assignment, error) {
 		return Assignment{}, err
 	}
 	n := len(p.Requests)
-	m := make([]int, n)
 	if n == 0 {
-		return Assignment{Ratios: m, Scheduler: s.Name()}, nil
+		return Assignment{Ratios: []int{}, Scheduler: s.Name()}, nil
 	}
-	reqs := p.effectiveRequests()
-	util := p.Objective.utilityCoefficients(reqs)
-	ub := p.upperBounds()
+	s.resize(n)
+	m := s.m
+	reqs := p.Requests
+	if p.MAC != nil {
+		s.scratch.reqs = p.effectiveRequestsInto(s.scratch.reqs)
+		reqs = s.scratch.reqs
+	}
+	s.scratch.util = p.Objective.utilityCoefficientsInto(s.scratch.util, reqs)
+	util := s.scratch.util
+	s.scratch.ub = p.upperBoundsInto(s.scratch.ub)
+	ub := s.scratch.ub
 
 	// Per-request "cost" per unit of m in each constraint row is constant, so
 	// rank candidates by utility per unit of (normalised) cost, refreshing
 	// feasibility on every grant. Remaining headroom per constraint row:
-	head := p.Region.Headroom(m)
+	s.head = p.Region.HeadroomInto(s.head, m)
+	head := s.head
 	for {
 		// Build the candidate list of requests that can still take one unit.
 		best := -1
@@ -213,14 +260,18 @@ func (s *GreedyJABASD) Schedule(p Problem) (Assignment, error) {
 	// hard as possible" assignment and keep whichever scores higher. This
 	// gives the classic 1/2-approximation guarantee for the single-constraint
 	// (knapsack) case and helps the multi-cell case too.
-	bestM := m
+	copy(s.bestM, m)
 	bestVal := p.Objective.Value(reqs, m)
 	for j := 0; j < n; j++ {
 		if util[j] <= 0 || ub[j] == 0 {
 			continue
 		}
-		single := make([]int, n)
-		h := p.Region.Headroom(single)
+		single := s.single
+		for i := range single {
+			single[i] = 0
+		}
+		h := p.Region.HeadroomInto(s.headS, single)
+		s.headS = h
 		for single[j] < ub[j] {
 			feas := true
 			for i, row := range p.Region.Coeff {
@@ -238,11 +289,12 @@ func (s *GreedyJABASD) Schedule(p Problem) (Assignment, error) {
 			}
 		}
 		if v := p.Objective.Value(reqs, single); v > bestVal {
-			bestVal, bestM = v, single
+			bestVal = v
+			copy(s.bestM, single)
 		}
 	}
 	return Assignment{
-		Ratios:    bestM,
+		Ratios:    append([]int(nil), s.bestM...),
 		Objective: bestVal,
 		Scheduler: s.Name(),
 	}, nil

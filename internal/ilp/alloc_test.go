@@ -1,0 +1,34 @@
+package ilp
+
+import (
+	"testing"
+
+	"jabasd/internal/race"
+)
+
+// TestSolverSteadyStateAllocs gates the branch-and-bound hot path: with the
+// node pool and the shared relaxation warm, Solve must not allocate.
+func TestSolverSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	p := randomProblem(4242, 8, 4, 8)
+	var solver Solver
+	solve := func() {
+		if _, err := solver.Solve(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the pool across a few differently-shaped instances first, so the
+	// gate measures the steady state rather than first-touch growth.
+	for seed := uint64(1); seed <= 4; seed++ {
+		q := randomProblem(seed, 6, 3, 6)
+		if _, err := solver.Solve(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solve()
+	if allocs := testing.AllocsPerRun(50, solve); allocs != 0 {
+		t.Errorf("ilp.Solver.Solve allocates %v times per solve in the steady state, want 0", allocs)
+	}
+}

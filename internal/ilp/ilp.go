@@ -5,9 +5,12 @@
 //	subject to  A m <= b
 //	            0 <= m_j <= ub_j,  m_j integer
 //
-// Two solvers are provided: an LP-relaxation branch-and-bound solver
-// (BranchAndBound) for general instances, and an exhaustive enumerator
-// (Exhaustive) used both for tiny instances and as a test oracle.
+// Three solvers are provided: the reusable Solver (LP-relaxation branch and
+// bound with pooled nodes, a shared relaxation and a greedy-seeded
+// incumbent — the production path, allocation-free in the steady state), the
+// one-shot BranchAndBound (the original per-call implementation, kept as an
+// independent reference and differential-test oracle), and an exhaustive
+// enumerator (Exhaustive) for tiny instances and oracle duty.
 package ilp
 
 import (
@@ -121,10 +124,18 @@ func Exhaustive(p Problem) (Result, error) {
 	return best, nil
 }
 
+// maxNodes is the branch-and-bound safety valve: searches abandon after this
+// many nodes and return the incumbent.
+const maxNodes = 200000
+
 // BranchAndBound solves the problem with LP-relaxation based branch and
 // bound. Variable upper bounds are encoded as extra LP rows. The search
 // branches on the most fractional variable and explores the "floor" branch
 // first (depth-first), using the LP bound to prune.
+//
+// BranchAndBound allocates its relaxation matrices per node; it is kept as
+// an independent reference implementation and differential-test oracle for
+// the reusable Solver, which the schedulers use on the hot path.
 func BranchAndBound(p Problem) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
@@ -155,7 +166,7 @@ func BranchAndBound(p Problem) (Result, error) {
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nodes++
-		if nodes > 200000 {
+		if nodes > maxNodes {
 			break // safety valve; incumbent is returned
 		}
 

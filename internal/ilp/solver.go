@@ -1,0 +1,277 @@
+package ilp
+
+import (
+	"math"
+
+	"jabasd/internal/lp"
+)
+
+// Solver is a reusable branch-and-bound solver for the bounded integer
+// programs of the scheduling sub-layer. It differs from the one-shot
+// BranchAndBound in three ways, none of which change the returned optimum:
+//
+//   - Shared relaxation: the LP relaxation's constraint matrix (the problem
+//     rows plus one unit row per variable upper bound) is assembled once per
+//     Solve; branching only tightens variable bounds, so each node merely
+//     recomputes the right-hand side vector over the shifted variables
+//     y_j = x_j - lower_j instead of rebuilding matrices.
+//   - Node pool: the DFS stack's per-node bound vectors come from a free
+//     list that is reused across nodes and across Solve calls, and the inner
+//     LP runs on an owned lp.Solver whose tableau is an arena — so
+//     steady-state Solve calls do not allocate.
+//   - Warm incumbent: when the all-zero assignment is admissible the
+//     incumbent is seeded by a deterministic greedy ascent from it, so
+//     pruning starts with a finite (and usually near-optimal) bound instead
+//     of discovering one deep in the tree.
+//
+// Result.X returned by Solve aliases the solver's incumbent buffer and is
+// only valid until the next Solve call; callers that retain it must copy.
+// The zero value is ready to use. A Solver is not safe for concurrent use —
+// give each goroutine its own (see core.Cloner).
+type Solver struct {
+	lp lp.Solver
+
+	// Shared relaxation storage: rows holds the m problem rows (aliased, the
+	// LP solver never mutates its input) followed by n unit upper-bound rows
+	// carved from boundSlab; rhs is recomputed per node.
+	rows      [][]float64
+	boundSlab []float64
+	rhs       []float64
+
+	xf    []float64 // node LP solution shifted back to x-space
+	xi    []int     // integral rounding buffer
+	bestX []int     // incumbent assignment (aliased by Result.X)
+
+	stack []node
+	free  []node
+}
+
+// node is one branch-and-bound subproblem: the per-variable bound box. The
+// slices are pool-owned and recycled once the node has been expanded.
+type node struct {
+	lo, up []int
+}
+
+// newNode takes a node from the free list (or grows the pool) with bound
+// vectors of length n.
+func (s *Solver) newNode(n int) node {
+	if len(s.free) == 0 {
+		return node{lo: make([]int, n), up: make([]int, n)}
+	}
+	nd := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	if cap(nd.lo) < n {
+		nd.lo = make([]int, n)
+		nd.up = make([]int, n)
+	}
+	nd.lo = nd.lo[:n]
+	nd.up = nd.up[:n]
+	return nd
+}
+
+// recycle returns an expanded node's storage to the pool.
+func (s *Solver) recycle(nd node) {
+	s.free = append(s.free, nd)
+}
+
+// Solve runs branch and bound on p. The result matches BranchAndBound's
+// optimum (value and feasibility; see the Solver doc comment for the
+// Result.X aliasing contract). Nodes counts may differ: the greedy-seeded
+// incumbent usually prunes earlier.
+func (s *Solver) Solve(p Problem) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(p.C)
+	if n == 0 {
+		return Result{Feasible: true, X: []int{}, Objective: 0}, nil
+	}
+	m := len(p.A)
+
+	// The all-zero vector is feasible iff b >= 0 (m_j = 0 means "reject all
+	// bursts", always admissible in the paper's formulation). When it is,
+	// improve it by greedy ascent so pruning starts with a strong bound.
+	if cap(s.bestX) < n {
+		s.bestX = make([]int, n)
+	}
+	s.bestX = s.bestX[:n]
+	for j := range s.bestX {
+		s.bestX[j] = 0
+	}
+	best := Result{Feasible: false, Objective: math.Inf(-1)}
+	if p.feasible(s.bestX) {
+		s.seedIncumbent(p)
+		best = Result{Feasible: true, X: s.bestX, Objective: p.objective(s.bestX)}
+	}
+
+	s.resetRelaxation(p)
+
+	root := s.newNode(n)
+	for j := range root.lo {
+		root.lo[j] = 0
+	}
+	copy(root.up, p.Upper)
+	s.stack = append(s.stack[:0], root)
+	nodes := 0
+
+	for len(s.stack) > 0 {
+		nd := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		nodes++
+		if nodes > maxNodes {
+			s.recycle(nd)
+			break // safety valve; incumbent is returned
+		}
+
+		// Right-hand side of the shared relaxation over the shifted
+		// variables y_j = x_j - lower_j with 0 <= y_j <= upper_j - lower_j.
+		for i := 0; i < m; i++ {
+			b := p.B[i]
+			for j := 0; j < n; j++ {
+				b -= p.A[i][j] * float64(nd.lo[j])
+			}
+			s.rhs[i] = b
+		}
+		for j := 0; j < n; j++ {
+			s.rhs[m+j] = float64(nd.up[j] - nd.lo[j])
+		}
+		res, err := s.lp.Solve(lp.Problem{C: p.C, A: s.rows, B: s.rhs})
+		if err != nil {
+			s.recycle(nd)
+			return Result{}, err
+		}
+		if res.Status != lp.Optimal {
+			// Infeasible box, or (impossible over a bounded box) unbounded.
+			s.recycle(nd)
+			continue
+		}
+		// Shift variables back: LP variables are y_j = x_j - lower_j.
+		obj := 0.0
+		for j := 0; j < n; j++ {
+			s.xf[j] = res.X[j] + float64(nd.lo[j])
+			obj += p.C[j] * s.xf[j]
+		}
+		if best.Feasible && obj <= best.Objective+1e-9 {
+			s.recycle(nd)
+			continue // prune by bound
+		}
+		// Find most fractional variable.
+		branch := -1
+		bestFrac := 1e-6
+		for j := 0; j < n; j++ {
+			f := math.Abs(s.xf[j] - math.Round(s.xf[j]))
+			if f > bestFrac {
+				bestFrac = f
+				branch = j
+			}
+		}
+		if branch < 0 {
+			// Integral LP optimum.
+			for j := 0; j < n; j++ {
+				s.xi[j] = int(math.Round(s.xf[j]))
+			}
+			if p.feasible(s.xi) {
+				o := p.objective(s.xi)
+				if !best.Feasible || o > best.Objective {
+					copy(s.bestX, s.xi)
+					best = Result{Feasible: true, X: s.bestX, Objective: o}
+				}
+			}
+			s.recycle(nd)
+			continue
+		}
+		floorV := int(math.Floor(s.xf[branch]))
+		// Up branch: x_branch >= floor+1.
+		if floorV+1 <= nd.up[branch] {
+			ch := s.newNode(n)
+			copy(ch.lo, nd.lo)
+			copy(ch.up, nd.up)
+			ch.lo[branch] = floorV + 1
+			s.stack = append(s.stack, ch)
+		}
+		// Down branch: x_branch <= floor (pushed last => explored first).
+		if floorV >= nd.lo[branch] {
+			ch := s.newNode(n)
+			copy(ch.lo, nd.lo)
+			copy(ch.up, nd.up)
+			ch.up[branch] = floorV
+			s.stack = append(s.stack, ch)
+		}
+		s.recycle(nd)
+	}
+	// Abandoned stack entries (safety valve) go back to the pool.
+	for _, nd := range s.stack {
+		s.recycle(nd)
+	}
+	s.stack = s.stack[:0]
+	best.Nodes = nodes
+	if !best.Feasible {
+		best.Objective = 0
+	}
+	return best, nil
+}
+
+// resetRelaxation assembles the shared LP relaxation matrix for p: the m
+// problem rows (aliased) followed by one unit row per variable upper bound.
+// Only the right-hand side changes from node to node.
+func (s *Solver) resetRelaxation(p Problem) {
+	n, m := len(p.C), len(p.A)
+	if cap(s.rows) < m+n {
+		s.rows = make([][]float64, m+n)
+	}
+	s.rows = s.rows[:m+n]
+	copy(s.rows, p.A)
+	if cap(s.boundSlab) < n*n {
+		s.boundSlab = make([]float64, n*n)
+	}
+	slab := s.boundSlab[:n*n]
+	for i := range slab {
+		slab[i] = 0
+	}
+	for j := 0; j < n; j++ {
+		row := slab[j*n : (j+1)*n]
+		row[j] = 1
+		s.rows[m+j] = row
+	}
+	if cap(s.rhs) < m+n {
+		s.rhs = make([]float64, m+n)
+	}
+	s.rhs = s.rhs[:m+n]
+	if cap(s.xf) < n {
+		s.xf = make([]float64, n)
+	}
+	s.xf = s.xf[:n]
+	if cap(s.xi) < n {
+		s.xi = make([]int, n)
+	}
+	s.xi = s.xi[:n]
+}
+
+// seedIncumbent raises s.bestX (starting from the all-zero assignment, which
+// the caller has verified is feasible) by deterministic greedy ascent: grant
+// one unit at a time to the highest-utility variable whose increment keeps
+// the assignment feasible, first such variable on ties. The result is a
+// feasible incumbent whose objective lower-bounds the optimum, so the search
+// prunes from the first node instead of rediscovering a bound in the tree.
+func (s *Solver) seedIncumbent(p Problem) {
+	n := len(p.C)
+	for {
+		bestJ := -1
+		bestC := 0.0
+		for j := 0; j < n; j++ {
+			if p.C[j] <= 0 || s.bestX[j] >= p.Upper[j] || (bestJ >= 0 && p.C[j] <= bestC) {
+				continue
+			}
+			s.bestX[j]++
+			if p.feasible(s.bestX) {
+				bestJ = j
+				bestC = p.C[j]
+			}
+			s.bestX[j]--
+		}
+		if bestJ < 0 {
+			return
+		}
+		s.bestX[bestJ]++
+	}
+}

@@ -1,0 +1,51 @@
+package lp
+
+import (
+	"testing"
+
+	"jabasd/internal/race"
+)
+
+// TestSolverSteadyStateAllocs is the allocation-regression gate for the
+// reusable simplex: once its arenas have grown to the problem size, Solve
+// must not allocate at all. It runs in CI via the ordinary `go test ./...`
+// job (and skips itself under -race, whose runtime allocates on its own).
+func TestSolverSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	n, m := 12, 10
+	p := Problem{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+	s := uint64(42)
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11) / (1 << 53)
+	}
+	for j := 0; j < n; j++ {
+		p.C[j] = next() * 2
+	}
+	for i := 0; i < m; i++ {
+		p.A[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			p.A[i][j] = next()
+		}
+		p.B[i] = 3 + next()*7
+	}
+	// Negate one row's rhs so the phase-1 path (artificial columns) is part
+	// of the gated loop too.
+	p.B[m-1] = -p.B[m-1] * 0.01
+	for j := 0; j < n; j++ {
+		p.A[m-1][j] = -p.A[m-1][j]
+	}
+
+	var solver Solver
+	solve := func() {
+		if _, err := solver.Solve(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solve() // grow the arenas to the high-water mark
+	if allocs := testing.AllocsPerRun(100, solve); allocs != 0 {
+		t.Errorf("lp.Solver.Solve allocates %v times per solve in the steady state, want 0", allocs)
+	}
+}

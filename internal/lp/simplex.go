@@ -9,6 +9,12 @@
 // admission integer program (eq. 7 and 17 plus the burst-duration upper
 // bounds expressed as extra rows). The solver is deterministic and uses
 // Bland's rule to avoid cycling.
+//
+// Two entry points are provided: the package-level Solve for one-shot
+// convenience, and the reusable Solver whose tableau, basis and objective
+// rows are arenas reused across calls — the branch-and-bound search in
+// package ilp solves one LP per node, and a warm Solver makes that loop
+// allocation-free in the steady state.
 package lp
 
 import (
@@ -61,8 +67,39 @@ type Result struct {
 
 const eps = 1e-9
 
-// Solve runs the two-phase simplex method on p.
+// Solve runs the two-phase simplex method on p using a throwaway Solver.
+// Callers solving many problems should hold a Solver and reuse it.
 func Solve(p Problem) (Result, error) {
+	var s Solver
+	return s.Solve(p)
+}
+
+// Solver is a reusable two-phase simplex solver. Its tableau (one flat slab
+// carved into rows with spare capacity for the phase-1 artificial columns),
+// basis, objective row and solution vector are buffers that grow to the
+// high-water problem size and are then reused, so steady-state Solve calls
+// do not allocate. The zero value is ready to use.
+//
+// Result.X returned by Solve aliases the Solver's solution buffer and is
+// only valid until the next Solve call; it must not be mutated. A Solver is
+// not safe for concurrent use — give each goroutine its own.
+type Solver struct {
+	n, m, nTot int
+	// rows holds the m tableau rows, each of length nTot+1 (last column is
+	// the rhs) with capacity for up to m phase-1 artificial columns; the
+	// backing storage is the slab.
+	slab  []float64
+	rows  [][]float64
+	obj   []float64 // objective row (maximisation, reduced costs)
+	basis []int     // basis[i] = variable index basic in row i
+	origC []float64
+	x     []float64
+	art   []int // phase-1 scratch: rows that received an artificial variable
+}
+
+// Solve runs the two-phase simplex method on p, reusing the solver's
+// buffers. See the Solver doc comment for the Result.X aliasing contract.
+func (s *Solver) Solve(p Problem) (Result, error) {
 	n := len(p.C)
 	m := len(p.A)
 	if len(p.B) != m {
@@ -83,7 +120,7 @@ func Solve(p Problem) (Result, error) {
 		return Result{Status: Optimal, X: []float64{}, Objective: 0}, nil
 	}
 
-	s := newSimplex(p)
+	s.reset(p)
 	// Phase 1 only needed if some b < 0 (slack basis infeasible).
 	if s.needsPhase1() {
 		if !s.phase1() {
@@ -102,34 +139,48 @@ func Solve(p Problem) (Result, error) {
 	return Result{Status: Optimal, X: x, Objective: obj}, nil
 }
 
-// simplex is a dense tableau with structural variables 0..n-1, slack
+// reset loads p into the solver's arena: structural variables 0..n-1, slack
 // variables n..n+m-1 and (during phase 1) artificial variables beyond that.
-type simplex struct {
-	n, m  int
-	rows  [][]float64 // m rows, each of length nTotal+1 (last col = rhs)
-	obj   []float64   // objective row of length nTotal+1 (maximisation, reduced costs)
-	basis []int       // basis[i] = variable index basic in row i
-	nTot  int
-	origC []float64
-}
-
-func newSimplex(p Problem) *simplex {
+func (s *Solver) reset(p Problem) {
 	n, m := len(p.C), len(p.A)
-	s := &simplex{n: n, m: m, nTot: n + m, origC: append([]float64(nil), p.C...)}
-	s.rows = make([][]float64, m)
-	s.basis = make([]int, m)
+	s.n, s.m, s.nTot = n, m, n+m
+	// Row stride reserves one column per possible artificial variable (at
+	// most one per row) so phase 1 can widen rows in place.
+	stride := s.nTot + 1 + m
+	if cap(s.slab) < m*stride {
+		s.slab = make([]float64, m*stride)
+	}
+	slab := s.slab[:m*stride]
+	if cap(s.rows) < m {
+		s.rows = make([][]float64, m)
+	}
+	s.rows = s.rows[:m]
+	if cap(s.basis) < m {
+		s.basis = make([]int, m)
+	}
+	s.basis = s.basis[:m]
+	if cap(s.obj) < stride {
+		s.obj = make([]float64, stride)
+	}
+	if cap(s.x) < n {
+		s.x = make([]float64, n)
+	}
+	s.x = s.x[:n]
+	s.origC = append(s.origC[:0], p.C...)
 	for i := 0; i < m; i++ {
-		row := make([]float64, s.nTot+1)
+		row := slab[i*stride : i*stride+s.nTot+1 : (i+1)*stride]
 		copy(row, p.A[i])
+		for j := n; j < s.nTot; j++ {
+			row[j] = 0
+		}
 		row[n+i] = 1 // slack
 		row[s.nTot] = p.B[i]
 		s.rows[i] = row
 		s.basis[i] = n + i
 	}
-	return s
 }
 
-func (s *simplex) needsPhase1() bool {
+func (s *Solver) needsPhase1() bool {
 	for i := 0; i < s.m; i++ {
 		if s.rows[i][s.nTot] < -eps {
 			return true
@@ -140,41 +191,50 @@ func (s *simplex) needsPhase1() bool {
 
 // phase1 restores feasibility by adding one artificial variable per negative
 // row and minimising their sum. Returns false if the LP is infeasible.
-func (s *simplex) phase1() bool {
+func (s *Solver) phase1() bool {
 	// Add artificial variables for rows with negative rhs (after negating).
-	artCols := []int{}
+	artRows := s.art[:0]
 	for i := 0; i < s.m; i++ {
 		if s.rows[i][s.nTot] < -eps {
 			// Negate row so rhs >= 0; slack coefficient flips sign.
 			for j := range s.rows[i] {
 				s.rows[i][j] = -s.rows[i][j]
 			}
-			artCols = append(artCols, i)
+			artRows = append(artRows, i)
 		}
 	}
-	if len(artCols) == 0 {
+	s.art = artRows
+	if len(artRows) == 0 {
 		return true
 	}
 	oldTot := s.nTot
-	s.nTot += len(artCols)
+	s.nTot += len(artRows)
 	for i := range s.rows {
+		// Widen the row in place (capacity reserved in reset): zero the new
+		// artificial columns and move the rhs to the last column.
 		row := s.rows[i]
 		rhs := row[oldTot]
-		row = append(row[:oldTot], make([]float64, len(artCols)+1)...)
+		row = row[:s.nTot+1]
+		for j := oldTot; j <= s.nTot; j++ {
+			row[j] = 0
+		}
 		row[s.nTot] = rhs
 		s.rows[i] = row
 	}
-	for k, ri := range artCols {
+	for k, ri := range artRows {
 		s.rows[ri][oldTot+k] = 1
 		s.basis[ri] = oldTot + k
 	}
 	// Phase-1 objective: maximise -(sum of artificials).
-	s.obj = make([]float64, s.nTot+1)
-	for k := range artCols {
+	s.obj = s.obj[:s.nTot+1]
+	for j := range s.obj {
+		s.obj[j] = 0
+	}
+	for k := range artRows {
 		s.obj[oldTot+k] = -1
 	}
 	// Price out basic artificials.
-	for _, ri := range artCols {
+	for _, ri := range artRows {
 		for j := 0; j <= s.nTot; j++ {
 			s.obj[j] += s.rows[ri][j]
 		}
@@ -203,15 +263,22 @@ func (s *simplex) phase1() bool {
 	// Drop artificial columns.
 	for i := range s.rows {
 		rhs := s.rows[i][s.nTot]
-		s.rows[i] = append(s.rows[i][:oldTot], rhs)
+		row := s.rows[i][:oldTot+1]
+		row[oldTot] = rhs
+		s.rows[i] = row
 	}
 	s.nTot = oldTot
 	return true
 }
 
-// phase2 optimises the true objective from the current feasible basis.
-func (s *simplex) phase2() Status {
-	s.obj = make([]float64, s.nTot+1)
+// phase2 optimises the true objective from the current feasible basis. When
+// phase 1 ran, the basis is a warm start: the feasible basis it found is
+// re-priced rather than rebuilt.
+func (s *Solver) phase2() Status {
+	s.obj = s.obj[:s.nTot+1]
+	for j := range s.obj {
+		s.obj[j] = 0
+	}
 	for j := 0; j < s.n; j++ {
 		s.obj[j] = s.origC[j]
 	}
@@ -228,7 +295,7 @@ func (s *simplex) phase2() Status {
 }
 
 // iterate runs primal simplex pivots until optimality or unboundedness.
-func (s *simplex) iterate() Status {
+func (s *Solver) iterate() Status {
 	maxIter := 200 * (s.m + s.nTot + 10)
 	for iter := 0; iter < maxIter; iter++ {
 		// Entering variable: Bland's rule (smallest index with positive
@@ -265,7 +332,7 @@ func (s *simplex) iterate() Status {
 }
 
 // pivot makes variable col basic in row.
-func (s *simplex) pivot(row, col int) {
+func (s *Solver) pivot(row, col int) {
 	p := s.rows[row][col]
 	inv := 1 / p
 	for j := 0; j <= s.nTot; j++ {
@@ -295,8 +362,11 @@ func (s *simplex) pivot(row, col int) {
 }
 
 // extract reads the structural variable values out of the tableau.
-func (s *simplex) extract() []float64 {
-	x := make([]float64, s.n)
+func (s *Solver) extract() []float64 {
+	x := s.x
+	for j := range x {
+		x[j] = 0
+	}
 	for i, b := range s.basis {
 		if b < s.n {
 			v := s.rows[i][s.nTot]

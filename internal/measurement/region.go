@@ -32,7 +32,17 @@ func (r Region) Feasible(m []int) bool {
 
 // Headroom returns, for each row, the remaining budget Bound - Coeff·m.
 func (r Region) Headroom(m []int) []float64 {
-	out := make([]float64, len(r.Coeff))
+	return r.HeadroomInto(nil, m)
+}
+
+// HeadroomInto is Headroom writing into dst, which is grown as needed and
+// returned; the schedulers' steady-state loops use it to stay allocation
+// free.
+func (r Region) HeadroomInto(dst []float64, m []int) []float64 {
+	if cap(dst) < len(r.Coeff) {
+		dst = make([]float64, len(r.Coeff))
+	}
+	dst = dst[:len(r.Coeff)]
 	for i, row := range r.Coeff {
 		lhs := 0.0
 		for j, a := range row {
@@ -40,9 +50,9 @@ func (r Region) Headroom(m []int) []float64 {
 				lhs += a * float64(m[j])
 			}
 		}
-		out[i] = r.Bound[i] - lhs
+		dst[i] = r.Bound[i] - lhs
 	}
-	return out
+	return dst
 }
 
 // Merge combines two regions over the same request vector into one (the

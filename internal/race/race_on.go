@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector is active, so
+// allocation-regression tests can skip themselves under `go test -race`
+// (the race runtime allocates on its own and would make
+// testing.AllocsPerRun counts meaningless).
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

@@ -566,8 +566,10 @@ func (e *Engine) completeBurst(b *burst) {
 
 // admit runs the measurement and scheduling sub-layers for every cell, in
 // the configured frame mode. All per-cell working storage lives in the
-// admission scratch sets and region builders, so the steady-state admission
-// loop is allocation-free up to the scheduler's integer programme.
+// admission scratch sets and region builders, and the JABA-SD schedulers
+// carry their own warm ilp.Solver/greedy scratch (cloned per worker in
+// snapshot mode), so the steady-state admission loop is allocation-free
+// through the integer programme up to the returned per-cell assignment.
 func (e *Engine) admit() {
 	if e.cfg.FrameMode.normalize() == FrameSnapshot {
 		e.admitSnapshot()

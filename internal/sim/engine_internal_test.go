@@ -8,6 +8,7 @@ import (
 	"math"
 	"testing"
 
+	"jabasd/internal/core"
 	"jabasd/internal/traffic"
 )
 
@@ -395,5 +396,31 @@ func TestSnapshotSolvePhaseLeavesLedgerUntouched(t *testing.T) {
 		if v != before[k] {
 			t.Fatalf("solve phase mutated the ledger at cell %d: %v -> %v", k, before[k], v)
 		}
+	}
+}
+
+// TestSnapshotWorkersOwnDisjointSchedulers pins the per-worker-scratch
+// contract the warm solvers lean on: every snapshot worker must hold its own
+// scheduler clone (distinct from the engine's and from every other
+// worker's), because a JABA-SD instance now carries mutable ILP solver
+// arenas that would race if shared across the solve fan-out.
+func TestSnapshotWorkersOwnDisjointSchedulers(t *testing.T) {
+	e := newTestEngine(t, func(cfg *Config) {
+		cfg.FrameMode = FrameSnapshot
+		cfg.FrameParallel = 4
+	})
+	defer e.Close()
+	if len(e.workers) < 2 {
+		t.Fatalf("expected multiple workers, got %d", len(e.workers))
+	}
+	seen := map[core.Scheduler]bool{e.scheduler: true}
+	for i, w := range e.workers {
+		if w.sched == nil {
+			t.Fatalf("worker %d has no scheduler", i)
+		}
+		if seen[w.sched] {
+			t.Fatalf("worker %d shares a scheduler instance with the engine or another worker", i)
+		}
+		seen[w.sched] = true
 	}
 }

@@ -256,3 +256,51 @@ func TestAdaptiveBeatsFixedEverywhere(t *testing.T) {
 		}
 	}
 }
+
+func TestTabulateAccuracy(t *testing.T) {
+	exact := MustNew(DefaultConfig())
+	tab := MustNew(DefaultConfig())
+	if tab.Tabulated() {
+		t.Fatal("fresh coder should not be tabulated")
+	}
+	tab.Tabulate()
+	tab.Tabulate() // idempotent
+	if !tab.Tabulated() {
+		t.Fatal("Tabulate did not activate the table")
+	}
+	// Dense off-grid sweep across the table: interpolation error must stay
+	// below the documented bound.
+	worst := 0.0
+	for csi := TableMinCSIDB; csi <= TableMaxCSIDB; csi += 0.0137 {
+		e := math.Abs(tab.AverageThroughput(csi) - exact.AverageThroughput(csi))
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst > 5e-7 {
+		t.Errorf("interpolation error %.3g exceeds 5e-7 bits/symbol", worst)
+	}
+	// On-grid samples are exact by construction.
+	for i := 0; i < 10; i++ {
+		csi := TableMinCSIDB + float64(i*97)*TableStepDB
+		if tab.AverageThroughput(csi) != exact.AverageThroughput(csi) {
+			t.Errorf("grid point %v dB should be bit-exact", csi)
+		}
+	}
+}
+
+func TestTabulateFallsBackOutsideGrid(t *testing.T) {
+	exact := MustNew(DefaultConfig())
+	tab := MustNew(DefaultConfig())
+	tab.Tabulate()
+	for _, csi := range []float64{TableMinCSIDB - 0.5, TableMaxCSIDB + 0.5, -120, 90} {
+		if got, want := tab.AverageThroughput(csi), exact.AverageThroughput(csi); got != want {
+			t.Errorf("out-of-grid %v dB: got %v, want exact %v", csi, got, want)
+		}
+	}
+	// The table upper edge itself is served from the table and must equal
+	// the exact sample there.
+	if tab.AverageThroughput(TableMaxCSIDB) != exact.AverageThroughput(TableMaxCSIDB) {
+		t.Error("table upper edge should be bit-exact")
+	}
+}
