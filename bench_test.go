@@ -8,6 +8,7 @@
 package jabasd_bench
 
 import (
+	"math"
 	"testing"
 
 	"jabasd/internal/core"
@@ -340,21 +341,43 @@ func BenchmarkForwardRegion(b *testing.B) {
 	}
 }
 
+// BenchmarkDynamicSimulationFrameRate measures whole-replication cost and
+// reports the achieved frame rate ("frames/sec") for two presets: the quick
+// unit-test scenario and the contended metro scenario (37 small cells, 30
+// data + 12 voice users per cell) whose frame rate is the headline number
+// of the batched-physics optimisation.
 func BenchmarkDynamicSimulationFrameRate(b *testing.B) {
-	// Measures whole-replication cost of the quick scenario; the per-frame
-	// cost is this divided by SimTime/FrameLength frames.
-	cfg := sim.DefaultConfig()
-	cfg.Rings = 1
-	cfg.SimTime = 4
-	cfg.WarmupTime = 1
-	cfg.DataUsersPerCell = 6
-	cfg.VoiceUsersPerCell = 4
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = uint64(i + 1)
-		if _, err := sim.Run(cfg); err != nil {
-			b.Fatal(err)
-		}
+	quick := sim.DefaultConfig()
+	quick.Rings = 1
+	quick.SimTime = 4
+	quick.WarmupTime = 1
+	quick.DataUsersPerCell = 6
+	quick.VoiceUsersPerCell = 4
+
+	metro := sim.DefaultConfig()
+	metro.Rings = 3 // 37 cells
+	metro.CellRadius = 600
+	metro.DataUsersPerCell = 30
+	metro.VoiceUsersPerCell = 12
+	metro.SimTime = 1
+	metro.WarmupTime = 0.25
+
+	for _, sc := range []struct {
+		name string
+		cfg  sim.Config
+	}{{"quick", quick}, {"metro", metro}} {
+		b.Run(sc.name, func(b *testing.B) {
+			cfg := sc.cfg
+			frames := int(math.Ceil(cfg.SimTime / cfg.FrameLength))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				if _, err := sim.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(frames*b.N)/b.Elapsed().Seconds(), "frames/sec")
+		})
 	}
 }
 
@@ -452,6 +475,7 @@ func BenchmarkSnapshotFrameAdmission(b *testing.B) {
 				cfg := sc.cfg
 				cfg.FrameMode = md.mode
 				cfg.FrameParallel = md.parallel
+				frames := int(math.Ceil(cfg.SimTime / cfg.FrameLength))
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					cfg.Seed = uint64(i + 1)
@@ -459,6 +483,7 @@ func BenchmarkSnapshotFrameAdmission(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+				b.ReportMetric(float64(frames*b.N)/b.Elapsed().Seconds(), "frames/sec")
 			})
 		}
 	}

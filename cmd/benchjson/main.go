@@ -9,7 +9,9 @@
 //
 // The output maps each benchmark name (including the -cpu suffix) to its
 // mean ns/op, B/op and allocs/op across the repetitions present in the
-// input (`-count N` runs emit one line per repetition).
+// input (`-count N` runs emit one line per repetition). Custom metrics
+// emitted via b.ReportMetric — like the frame loop's "frames/sec" — are
+// collected under an "extra" map, averaged the same way.
 package main
 
 import (
@@ -29,6 +31,9 @@ type metrics struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Count       int     `json:"count"` // repetitions averaged
+	// Extra holds custom b.ReportMetric units (e.g. "frames/sec"), absent
+	// when a benchmark reports none.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -82,6 +87,7 @@ func parse(r io.Reader) (map[string]metrics, error) {
 	type sum struct {
 		ns, b, allocs float64
 		n             int
+		extra         map[string]float64
 	}
 	sums := map[string]*sum{}
 	sc := bufio.NewScanner(r)
@@ -102,7 +108,7 @@ func parse(r io.Reader) (map[string]metrics, error) {
 			if err != nil {
 				return nil, fmt.Errorf("bad value %q for %s", fields[i], fields[0])
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				s.ns += v
 				ok = true
@@ -110,6 +116,11 @@ func parse(r io.Reader) (map[string]metrics, error) {
 				s.b += v
 			case "allocs/op":
 				s.allocs += v
+			default:
+				if s.extra == nil {
+					s.extra = map[string]float64{}
+				}
+				s.extra[unit] += v
 			}
 		}
 		if !ok {
@@ -123,12 +134,19 @@ func parse(r io.Reader) (map[string]metrics, error) {
 	// json.Marshal sorts map keys, so the output is deterministic as-is.
 	out := make(map[string]metrics, len(sums))
 	for name, s := range sums {
-		out[name] = metrics{
+		m := metrics{
 			NsPerOp:     s.ns / float64(s.n),
 			BytesPerOp:  s.b / float64(s.n),
 			AllocsPerOp: s.allocs / float64(s.n),
 			Count:       s.n,
 		}
+		if s.extra != nil {
+			m.Extra = make(map[string]float64, len(s.extra))
+			for unit, total := range s.extra {
+				m.Extra[unit] = total / float64(s.n)
+			}
+		}
+		out[name] = m
 	}
 	return out, nil
 }

@@ -34,6 +34,30 @@ ok  	jabasd	0.1s
 	}
 }
 
+func TestParseCollectsCustomMetrics(t *testing.T) {
+	input := `BenchmarkRate/metro-8   	       5	 120000000 ns/op	       400.0 frames/sec	 12000000 B/op	   74000 allocs/op
+BenchmarkRate/metro-8   	       5	 118000000 ns/op	       420.0 frames/sec	 12000000 B/op	   74000 allocs/op
+BenchmarkPlain-8        	     100	      1000 ns/op
+`
+	got, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, ok := got["BenchmarkRate/metro-8"]
+	if !ok {
+		t.Fatalf("BenchmarkRate/metro-8 missing from %v", got)
+	}
+	if rate.NsPerOp != 119000000 || rate.Count != 2 {
+		t.Errorf("BenchmarkRate/metro-8 = %+v, want mean of the two repetitions", rate)
+	}
+	if fps := rate.Extra["frames/sec"]; fps != 410 {
+		t.Errorf("frames/sec = %v, want 410 (mean of 400 and 420)", fps)
+	}
+	if plain := got["BenchmarkPlain-8"]; plain.Extra != nil {
+		t.Errorf("BenchmarkPlain-8.Extra = %v, want nil when no custom metrics reported", plain.Extra)
+	}
+}
+
 func TestParseRejectsMalformed(t *testing.T) {
 	if _, err := parse(strings.NewReader("BenchmarkBad-8  200  xyz ns/op\n")); err == nil {
 		t.Error("malformed value should error")

@@ -43,6 +43,7 @@ func run(args []string) error {
 		only      = fs.String("only", "", "comma separated experiment ids to run (e.g. E1,E5); empty = all")
 		outDir    = fs.String("out", "", "directory to write CSV results into (optional)")
 		parallel  = fs.Int("parallel", 0, "max experiments running concurrently (0 = GOMAXPROCS)")
+		exact     = fs.Bool("exact-vtaoc", false, "run the dynamic experiments on the bit-exact reference physics (exact VTAOC integral, scalar-equivalent channel kernels) instead of the fast SoA path")
 		list      = fs.Bool("list", false, "list the registered experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +70,7 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleName)
 	}
+	scale.ExactPHY = *exact
 
 	defs, err := selectExperiments(*only)
 	if err != nil {

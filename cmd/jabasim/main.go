@@ -56,6 +56,7 @@ func run(args []string) error {
 		framePar    = fs.Int("frameparallel", -1, "snapshot-mode solve workers: 0 = auto (GOMAXPROCS, but inline under a parallel reps/sweep fan-out), 1 = inline, -1 keeps the scenario's")
 		tracePath   = fs.String("trace", "", "write per-frame per-cell telemetry to this file (CSV, or JSONL when the path ends in .jsonl); replication 0 only when -reps > 1")
 		traceEvery  = fs.Int("trace-every", 1, "sample every Nth frame into the -trace output")
+		exactVTAOC  = fs.Bool("exact-vtaoc", false, "bit-exact reference physics: exact VTAOC integral, scalar-equivalent channel kernels, full region rebuilds (golden-output mode; default is the fast SoA path)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProfile  = fs.String("memprofile", "", "write a heap profile (allocation attribution) to this file when the simulation finishes")
 	)
@@ -113,6 +114,9 @@ func run(args []string) error {
 		}
 		cfg.FrameParallel = *framePar
 	}
+	if *exactVTAOC {
+		cfg.ExactPHY = true
+	}
 	if *traceEvery < 0 {
 		return fmt.Errorf("-trace-every must be >= 0, got %d", *traceEvery)
 	}
@@ -130,6 +134,9 @@ func run(args []string) error {
 	}
 
 	if *cpuProfile != "" {
+		if workers := profileWorkers(cfg, *reps); workers > 1 {
+			fmt.Fprintf(os.Stderr, "jabasim: warning: -cpuprofile with %d snapshot solve workers spreads frame-loop samples across pool goroutines; rerun with -frameparallel 1 for a flat single-stack profile\n", workers)
+		}
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			return err
@@ -227,6 +234,22 @@ func run(args []string) error {
 	fmt.Printf("  completion ratio  : %.3f\n", agg.CompletionRate.Mean())
 	printSkippedCells(agg.SkippedCells.Mean())
 	return nil
+}
+
+// profileWorkers returns the number of snapshot-mode solve workers the run
+// will actually use, so -cpuprofile can warn when the profile will be spread
+// over a worker pool: 0 in sequential mode, the resolved pool size in
+// snapshot mode (FrameParallel 0 = auto resolves to GOMAXPROCS unless an
+// outer replication fan-out forces it inline).
+func profileWorkers(cfg sim.Config, reps int) int {
+	if cfg.FrameMode != sim.FrameSnapshot {
+		return 0
+	}
+	workers := sim.ResolveFrameParallel(cfg, reps)
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return workers
 }
 
 // printSkippedCells surfaces the abandoned cell-frame count (mean across

@@ -71,6 +71,7 @@ func run(args []string, stdout io.Writer) error {
 		outPath    = fs.String("o", "", "output file (default stdout)")
 		tracePath  = fs.String("trace", "", "write per-frame per-cell telemetry of every point's replication 0 to this CSV file")
 		traceEvery = fs.Int("trace-every", 1, "sample every Nth frame into the -trace output")
+		exactVTAOC = fs.Bool("exact-vtaoc", false, "bit-exact reference physics for every point: exact VTAOC integral, scalar-equivalent channel kernels, full region rebuilds (golden-output mode)")
 		dryRun     = fs.Bool("points", false, "list the expanded grid points and exit (dry run)")
 		listGrids  = fs.Bool("list-grids", false, "list the built-in named grids and exit")
 		listAxes   = fs.Bool("list-axes", false, "list the sweepable axes and exit")
@@ -174,13 +175,16 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	opts := sweep.Options{Reps: *reps, Parallel: *parallel, BaseSeed: *seed}
-	if *frameMode != "" || *framePar >= 0 {
+	if *frameMode != "" || *framePar >= 0 || *exactVTAOC {
 		opts.Mutate = func(c *sim.Config) {
 			if *frameMode != "" {
 				c.FrameMode = sim.FrameMode(*frameMode)
 			}
 			if *framePar >= 0 {
 				c.FrameParallel = *framePar
+			}
+			if *exactVTAOC {
+				c.ExactPHY = true
 			}
 		}
 	}

@@ -32,6 +32,10 @@ type Scale struct {
 	Rings        int
 	Replications int
 	LoadPoints   []int // data users per cell for the load sweeps
+	// ExactPHY runs the dynamic experiments on the engine's bit-exact
+	// reference physics instead of the default fast SoA kernels — the mode
+	// cmd/jabaexp's -exact-vtaoc flag selects to keep golden outputs stable.
+	ExactPHY bool
 }
 
 // Quick is the scale used by unit tests and benchmarks: small but large
@@ -79,6 +83,7 @@ func baseConfig(s Scale) sim.Config {
 	// "Covered" means the burst was actually served at high speed: at least
 	// 16x the fundamental-channel rate (~59 kbit/s with the default plan).
 	cfg.CoverageRateFraction = 16
+	cfg.ExactPHY = s.ExactPHY
 	return cfg
 }
 

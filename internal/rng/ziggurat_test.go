@@ -1,0 +1,119 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStdNormalFastMoments pins the first four moments of the ziggurat
+// sampler against the standard normal's (0, 1, 0, 3) within Monte-Carlo
+// tolerances for the sample size.
+func TestStdNormalFastMoments(t *testing.T) {
+	src := New(12345)
+	const n = 2_000_000
+	var s1, s2, s3, s4 float64
+	for i := 0; i < n; i++ {
+		x := src.StdNormalFast()
+		s1 += x
+		s2 += x * x
+		s3 += x * x * x
+		s4 += x * x * x * x
+	}
+	mean := s1 / n
+	variance := s2/n - mean*mean
+	skew := s3 / n
+	kurt := s4 / n
+	if math.Abs(mean) > 0.005 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.01 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+	if math.Abs(skew) > 0.02 {
+		t.Errorf("third moment = %v, want ~0", skew)
+	}
+	if math.Abs(kurt-3) > 0.1 {
+		t.Errorf("fourth moment = %v, want ~3", kurt)
+	}
+}
+
+// TestStdNormalFastTail checks the tail algorithm fires and produces the
+// right exceedance probability beyond the ziggurat tail start.
+func TestStdNormalFastTail(t *testing.T) {
+	src := New(999)
+	const n = 4_000_000
+	beyond := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(src.StdNormalFast()) > zigR {
+			beyond++
+		}
+	}
+	// P(|X| > 3.4426...) = 2*Q(3.4426) = 5.758e-4.
+	want := 5.758e-4
+	got := float64(beyond) / n
+	if got < want/1.5 || got > want*1.5 {
+		t.Errorf("tail fraction beyond %.3f = %.3e, want ~%.3e", zigR, got, want)
+	}
+}
+
+// TestStdNormalFastHistogram compares a coarse histogram of the sampler
+// against the normal CDF: a cheap goodness-of-fit guard on the body of the
+// distribution, where an indexing bug in the layer tables would show up.
+func TestStdNormalFastHistogram(t *testing.T) {
+	src := New(7)
+	const n = 1_000_000
+	edges := []float64{-2, -1, -0.5, 0, 0.5, 1, 2}
+	counts := make([]int, len(edges)+1)
+	for i := 0; i < n; i++ {
+		x := src.StdNormalFast()
+		j := 0
+		for j < len(edges) && x > edges[j] {
+			j++
+		}
+		counts[j]++
+	}
+	cdf := func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+	prev := 0.0
+	for j := range counts {
+		var p float64
+		if j < len(edges) {
+			p = cdf(edges[j]) - prev
+			prev = cdf(edges[j])
+		} else {
+			p = 1 - prev
+		}
+		got := float64(counts[j]) / n
+		if math.Abs(got-p) > 0.004 {
+			t.Errorf("bin %d: frequency %.4f, want %.4f (normal)", j, got, p)
+		}
+	}
+}
+
+// TestStdNormalFastDeterministic pins that the sampler is reproducible for a
+// fixed seed.
+func TestStdNormalFastDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.StdNormalFast(), b.StdNormalFast(); x != y {
+			t.Fatalf("draw %d: %v != %v for identical seeds", i, x, y)
+		}
+	}
+}
+
+func BenchmarkStdNormalFast(b *testing.B) {
+	src := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += src.StdNormalFast()
+	}
+	_ = sink
+}
+
+func BenchmarkStdNormalBoxMuller(b *testing.B) {
+	src := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += src.StdNormal()
+	}
+	_ = sink
+}

@@ -154,6 +154,22 @@ type Config struct {
 	UseFixedRatePHY bool // ablation: replace the adaptive coder with one fixed mode
 	FixedRateMode   int
 
+	// ExactPHY selects the bit-exact reference physics: the scalar-equivalent
+	// channel/pilot kernels (math.Pow, dB-domain pilot comparisons), the exact
+	// VTAOC integral instead of its lookup table, and full per-frame region
+	// rebuilds. It exists to keep golden outputs byte-identical to the
+	// pre-batching engine; the default (false) runs the fast SoA kernels —
+	// gains within ~1e-12 relative, VTAOC within 5e-7 absolute, statistically
+	// equivalent shadowing draws — for a several-fold frame-rate gain.
+	ExactPHY bool
+	// RegionEpsilon is the relative drift tolerance of the fast path's
+	// incremental admissible-region cache: a user's measurements count as
+	// changed when a gain moved by more than this fraction since its last
+	// region build (0, the default, re-marks every moving user each frame so
+	// cached regions are reused only when bitwise unchanged). Ignored when
+	// ExactPHY is set.
+	RegionEpsilon float64
+
 	// Traffic.
 	Data traffic.DataModelConfig
 
@@ -313,6 +329,9 @@ func (c Config) Validate() error {
 	}
 	if c.UseFixedRatePHY && (c.FixedRateMode < 1 || c.FixedRateMode > c.VTAOC.NumModes) {
 		return errors.New("sim: FixedRateMode out of range")
+	}
+	if c.RegionEpsilon < 0 {
+		return errors.New("sim: RegionEpsilon must be >= 0")
 	}
 	return nil
 }

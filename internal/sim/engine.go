@@ -56,19 +56,26 @@ type burst struct {
 	grantedAt      float64
 }
 
-// dataUser is one packet-data mobile.
+// dataUser is one packet-data mobile. Its physics state — position, fast
+// fading and per-cell shadowing/gain — lives in the engine's SoA batches
+// (mobB, fadeB, chanB), indexed by id; gain aliases the user's row of the
+// channel batch so the admission code reads it exactly as before.
 type dataUser struct {
 	id       int
-	mob      mobility.Model
-	fade     *rng.Jakes
-	shadow   []*channel.Shadowing
-	gain     []float64 // long-term linear power gain to every cell
+	gain     []float64 // aliases chanB.GainRow(id): long-term linear gain to every cell
 	pilots   []cellular.PilotMeasurement
 	active   []int
 	reduced  []int
 	hostCell int
 	source   *traffic.DataModel
 	macM     *mac.Machine
+
+	// ver counts measurement changes (fast path): it is bumped whenever the
+	// user's gains moved beyond RegionEpsilon or its reduced set changed, and
+	// the incremental region cache keys on it. prevReduced is the previous
+	// frame's reduced set for the change test.
+	ver         uint64
+	prevReduced []int
 
 	queuedReq  *traffic.BurstRequest
 	queuedCell int
@@ -103,6 +110,28 @@ type Engine struct {
 	voice  []*voiceUser
 	queues []*traffic.Queue // per cell
 	bursts []*burst
+
+	// Structure-of-arrays physics state for the data users, indexed by user
+	// id: waypoint mobility, Jakes fast fading and the long-term channel
+	// (path loss x shadowing). Each user's rows are touched only by the
+	// goroutine updating that user, so the chunked update fan-out is
+	// race-free.
+	mobB  *mobility.WaypointBatch
+	fadeB *rng.JakesBatch
+	chanB *channel.Batch
+
+	// incr caches per-cell admissible regions across frames (fast path
+	// only; the exact reference path always rebuilds). Safe to share across
+	// snapshot workers: a cell is solved by exactly one worker per frame.
+	incr *measurement.IncrementalRegions
+
+	// Per-run constants hoisted out of the per-user frame loop. The exact
+	// path computes identical values to the per-call originals; the linear
+	// pilot thresholds serve the fast path only.
+	fchPG      float64 // W/Rb of the FCH
+	ebioTarget float64 // linear FCH Eb/Io target
+	addFactor  float64 // 10^(-SoftHandoffAddDB/10)
+	minEcIo    float64 // 10^(PilotMinEcIoDB/10)
 
 	// loads is the per-cell resource ledger for this frame: forward-link
 	// transmit power (W) or reverse-link received power (W) depending on
@@ -162,6 +191,9 @@ type admitScratch struct {
 	users []*dataUser
 	fwd   []measurement.ForwardRequest
 	rev   []measurement.ReverseRequest
+	csi   []float64 // live users' mean CSI, input to the batched PHY eval
+	bp    []float64 // per-user average throughput, batch output
+	vers  []uint64  // live users' measurement versions, for the region cache
 }
 
 // frameWorker owns the mutable state one snapshot-phase worker needs so the
@@ -193,6 +225,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !cfg.ExactPHY {
+		// Fast path: evaluate the VTAOC ladder through the PR 5 lookup table
+		// (documented <= 5e-7 absolute of the exact integral). The exact
+		// reference mode keeps the integral so golden outputs stay
+		// byte-identical.
+		coder.Tabulate()
+	}
 	var p phy = coder
 	if cfg.UseFixedRatePHY {
 		fr, err := vtaoc.NewFixedRate(coder, cfg.FixedRateMode)
@@ -220,6 +259,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 			Direction: cfg.Direction.String(),
 			Cells:     layout.NumCells(),
 		},
+	}
+	e.fchPG = cfg.RatePlan.FCHSpreadingGain / cfg.RatePlan.FCHThroughput
+	e.ebioTarget = mathx.Linear(cfg.FCHEbIoTargetDB)
+	e.addFactor = math.Pow(10, -cfg.SoftHandoffAddDB/10)
+	e.minEcIo = math.Pow(10, cfg.PilotMinEcIoDB/10)
+	if !cfg.ExactPHY {
+		e.incr = measurement.NewIncrementalRegions(layout.NumCells(), cfg.RegionEpsilon)
 	}
 	e.queues = make([]*traffic.Queue, layout.NumCells())
 	for k := range e.queues {
@@ -270,28 +316,38 @@ func (e *Engine) Close() {
 	}
 }
 
-// populate creates the data and voice users.
+// populate creates the data and voice users. The data users' physics state
+// is seeded into the SoA batches from exactly the substreams the former
+// per-user objects received (mobility from userSrc.Split(1), fading from
+// Split(2), per-cell shadowing from Split(10+k)), so the batch kernels
+// reproduce the per-object trajectories bit for bit.
 func (e *Engine) populate() {
 	nCells := e.layout.NumCells()
+	nData := nCells * e.cfg.DataUsersPerCell
+	e.mobB = mobility.NewWaypointBatch(e.region, e.cfg.MinSpeed, e.cfg.MaxSpeed, 30, nData)
+	e.fadeB = rng.NewJakesBatch(nData, 16, e.cfg.DopplerHz)
+	e.chanB = channel.NewBatch(nData, nCells, e.cfg.PathLoss, e.cfg.ShadowSigmaDB, e.cfg.ShadowDecorrM)
 	uid := 0
 	for c := 0; c < nCells; c++ {
 		for i := 0; i < e.cfg.DataUsersPerCell; i++ {
+			// Split consumes one parent draw per call, so the split order
+			// below (1, 2, 3, then 10..10+cells) must match the scalar
+			// engine's exactly to keep every substream — and with it the
+			// golden outputs — bit-identical.
 			userSrc := e.src.Split(uint64(1000 + uid))
+			e.mobB.SeedUser(uid, userSrc.Split(1))
+			e.fadeB.SeedUser(uid, userSrc.Split(2))
+			dataSrc := userSrc.Split(3)
+			e.chanB.SeedUser(uid, userSrc, 10)
 			u := &dataUser{
 				id:       uid,
-				mob:      mobility.NewRandomWaypoint(userSrc.Split(1), e.region, e.cfg.MinSpeed, e.cfg.MaxSpeed, 30),
-				fade:     rng.NewJakes(userSrc.Split(2), 16, e.cfg.DopplerHz),
-				source:   traffic.NewDataModel(userSrc.Split(3), uid, e.cfg.Data),
+				gain:     e.chanB.GainRow(uid),
+				source:   traffic.NewDataModel(dataSrc, uid, e.cfg.Data),
 				macM:     mac.MustNewMachine(e.cfg.MAC),
-				gain:     make([]float64, nCells),
-				shadow:   make([]*channel.Shadowing, nCells),
 				fchPower: load.MakeVec(3),
 				revFCHRx: load.MakeVec(3),
 				revPilot: load.MakeVec(3),
 				scrm:     load.MakeVec(measurement.SCRMMaxPilots),
-			}
-			for k := 0; k < nCells; k++ {
-				u.shadow[k] = channel.NewShadowing(userSrc.Split(uint64(10+k)), e.cfg.ShadowSigmaDB, e.cfg.ShadowDecorrM)
 			}
 			e.users = append(e.users, u)
 			uid++
@@ -301,6 +357,7 @@ func (e *Engine) populate() {
 			e.voice = append(e.voice, &voiceUser{
 				model: traffic.NewVoiceModel(vsrc.Split(1), 1.0, 1.35),
 				mob:   mobility.NewRandomWaypoint(vsrc.Split(2), e.region, e.cfg.MinSpeed, e.cfg.MaxSpeed, 30),
+				cell:  -1,
 			})
 		}
 	}
@@ -356,12 +413,27 @@ func (e *Engine) applyLoadStep() {
 	e.loadStepDone = true
 }
 
-// updateVoice advances voice activity and positions.
+// updateVoice advances voice activity and positions. The serving cell is a
+// pure function of the position, so a paused user (zero travel) keeps its
+// cell without the NearestCell scan; the -1 sentinel from populate forces
+// the first evaluation. The fast path scans squared distances (saving one
+// sqrt per cell per moving voice user); the exact reference path keeps the
+// metre-domain scan so goldens cannot shift on sqrt-rounding ties.
 func (e *Engine) updateVoice(dt float64) {
+	if e.cfg.ExactPHY {
+		for _, v := range e.voice {
+			v.model.Advance(dt)
+			if travelled := v.mob.Advance(dt); travelled > 0 || v.cell < 0 {
+				v.cell = e.layout.NearestCell(v.mob.Position())
+			}
+		}
+		return
+	}
 	for _, v := range e.voice {
 		v.model.Advance(dt)
-		v.mob.Advance(dt)
-		v.cell = e.layout.NearestCell(v.mob.Position())
+		if travelled := v.mob.Advance(dt); travelled > 0 || v.cell < 0 {
+			v.cell = e.layout.NearestCellSq(v.mob.Position())
+		}
 	}
 }
 
@@ -389,20 +461,72 @@ func (e *Engine) updateUsers(dt float64) {
 }
 
 // updateUser advances one data user by one frame: position, per-cell gain,
-// pilot/active/reduced sets, geometry, FCH ledgers and MAC state.
+// pilot/active/reduced sets, geometry, FCH ledgers and MAC state. The exact
+// reference path (ExactPHY) reproduces the original scalar chain bit for
+// bit; the default fast path evaluates the same model through the batched
+// fast kernels.
 func (e *Engine) updateUser(u *dataUser, dt float64) {
-	nCells := e.layout.NumCells()
-	fchPG := e.cfg.RatePlan.FCHSpreadingGain / e.cfg.RatePlan.FCHThroughput // W/Rb for the FCH
-	ebioTarget := mathx.Linear(e.cfg.FCHEbIoTargetDB)
-	travelled := u.mob.Advance(dt)
-	pos := u.mob.Position()
-	for k := 0; k < nCells; k++ {
-		u.shadow[k].Advance(travelled)
-		lossDB := e.cfg.PathLoss.LossDB(e.layout.Distance(pos, k))
-		u.gain[k] = math.Pow(10, (-lossDB+u.shadow[k].CurrentDB())/10)
+	if e.cfg.ExactPHY {
+		e.updateUserExact(u, dt)
+	} else {
+		e.updateUserFast(u, dt)
 	}
+}
+
+// updateUserExact is the bit-exact reference frame update. A zero-travel
+// frame leaves the shadowing state — and with it every derived quantity,
+// down to the FCH ledgers — bitwise unchanged, so after consuming the
+// Gaussian draws the reference stream takes anyway, the whole recompute is
+// skipped.
+func (e *Engine) updateUserExact(u *dataUser, dt float64) {
+	travelled := e.mobB.Advance(u.id, dt)
+	if travelled == 0 && e.chanB.Ready(u.id) {
+		e.chanB.AdvancePausedExact(u.id)
+		u.macM.AdvanceTo(e.now)
+		return
+	}
+	pos := e.mobB.Position(u.id)
+	e.layout.DistancesInto(pos, e.chanB.DistRow(u.id))
+	e.chanB.AdvanceExact(u.id, travelled)
 	u.pilots = cellular.PilotSetInto(u.pilots, u.gain, e.cfg.PilotFraction, e.cfg.MaxCellPowerW, e.cfg.NoiseW)
 	u.active = cellular.ActiveSetInto(u.active, u.pilots, e.cfg.SoftHandoffAddDB, e.cfg.PilotMinEcIoDB, 3)
+	e.finishMeasurements(u)
+}
+
+// updateUserFast is the default frame update: squared distances feed the
+// fast channel kernel (FastLog10/FastExp10, ziggurat shadowing draws), the
+// pilot and active sets are decided in the linear domain, and a paused user
+// skips the frame entirely — its measurements cannot change. The user's
+// measurement version is bumped whenever the gains moved beyond
+// RegionEpsilon or the reduced set changed, keying the incremental region
+// cache.
+func (e *Engine) updateUserFast(u *dataUser, dt float64) {
+	travelled := e.mobB.Advance(u.id, dt)
+	if travelled == 0 && e.chanB.Ready(u.id) {
+		u.macM.AdvanceTo(e.now)
+		return
+	}
+	pos := e.mobB.Position(u.id)
+	e.layout.DistancesSqInto(pos, e.chanB.DistRow(u.id))
+	dirty := e.chanB.AdvanceFast(u.id, travelled, e.cfg.RegionEpsilon)
+	u.pilots = cellular.PilotSetLinearInto(u.pilots, u.gain, e.cfg.PilotFraction, e.cfg.MaxCellPowerW, e.cfg.NoiseW)
+	u.active = cellular.ActiveSetLinearInto(u.active, u.pilots, e.addFactor, e.minEcIo, 3)
+	e.finishMeasurements(u)
+	if !dirty {
+		dirty = !intSlicesEqual(u.reduced, u.prevReduced)
+	}
+	if dirty {
+		u.ver++
+	}
+	u.prevReduced = append(u.prevReduced[:0], u.reduced...)
+}
+
+// finishMeasurements derives the admission-facing quantities from the
+// freshly updated gains and active set: reduced set, host cell, geometry,
+// mean CSI and the FCH ledgers. Identical arithmetic on both the exact and
+// the fast path (the inputs differ only by the kernel tolerances).
+func (e *Engine) finishMeasurements(u *dataUser) {
+	nCells := e.layout.NumCells()
 	u.reduced = cellular.ReducedActiveSetInto(u.reduced, u.pilots, u.active)
 	if len(u.reduced) == 0 {
 		// Degenerate coverage hole: fall back to the strongest cell.
@@ -427,7 +551,7 @@ func (e *Engine) updateUser(u *dataUser, dt float64) {
 	cap := e.cfg.FCHTargetFraction * e.cfg.MaxCellPowerW
 	u.fchPower.Reset()
 	for _, k := range u.reduced {
-		req := ebioTarget * interference / (u.gain[k] * fchPG)
+		req := e.ebioTarget * interference / (u.gain[k] * e.fchPG)
 		u.fchPower.Set(k, math.Min(req, cap))
 	}
 
@@ -438,13 +562,26 @@ func (e *Engine) updateUser(u *dataUser, dt float64) {
 	// arithmetic works on O(1) quantities.
 	nominalL := e.cfg.NoiseW * (1 + (e.cfg.ReverseRiseLimit-1)/2)
 	bestGain := u.gain[u.hostCell]
-	revTx := ebioTarget * nominalL / (bestGain * fchPG)
+	revTx := e.ebioTarget * nominalL / (bestGain * e.fchPG)
 	u.revFCHRx.Reset()
 	for _, k := range u.reduced {
 		u.revFCHRx.Set(k, revTx*u.gain[k]/e.cfg.NoiseW)
 	}
 
 	u.macM.AdvanceTo(e.now)
+}
+
+// intSlicesEqual reports a == b elementwise.
+func intSlicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // generateTraffic advances the data sources and enqueues new burst requests.
@@ -471,7 +608,9 @@ func (e *Engine) accumulateLoads() {
 	case Forward:
 		e.loads.Fill(e.cfg.CommonOverheadFrac * e.cfg.MaxCellPowerW)
 		for _, v := range e.voice {
-			if v.model.Active() {
+			// cell < 0 is the pre-first-frame sentinel; step() always runs
+			// updateVoice before the loads are accumulated.
+			if v.model.Active() && v.cell >= 0 {
 				e.loads.Add(v.cell, e.cfg.VoiceChannelW)
 			}
 		}
@@ -486,7 +625,7 @@ func (e *Engine) accumulateLoads() {
 		// a fixed per-user share of the budget while talking.
 		voiceShare := (e.cfg.ReverseRiseLimit - 1) / 40
 		for _, v := range e.voice {
-			if v.model.Active() {
+			if v.model.Active() && v.cell >= 0 {
 				e.loads.Add(v.cell, voiceShare)
 			}
 		}
@@ -512,7 +651,7 @@ func (e *Engine) serveBursts(dt float64) {
 			continue
 		}
 		// Instantaneous VTAOC throughput rides the fast fading.
-		instCSI := u.meanCSIdB + mathx.DB(math.Max(u.fade.PowerAt(e.now), 1e-12))
+		instCSI := u.meanCSIdB + mathx.DB(math.Max(e.fadeB.PowerAt(u.id, e.now), 1e-12))
 		bp := e.phy.Throughput(instCSI)
 		rate := e.cfg.RatePlan.SCHBitRate(b.ratio, bp)
 		delivered := rate * dt
@@ -592,7 +731,7 @@ func (e *Engine) admitSequential() {
 			continue
 		}
 		e.traceSolve(k, len(e.admitScratch.reqs), false)
-		assignment, err := e.solveCell(&e.admitScratch, &e.regionB, e.scheduler, loads)
+		assignment, err := e.solveCell(k, &e.admitScratch, &e.regionB, e.scheduler, loads)
 		if err != nil {
 			// Skip this cell this frame rather than abort the run, but leave
 			// a trace: a persistently skipped cell is a misconfiguration.
@@ -657,7 +796,7 @@ func (e *Engine) admitSnapshot() {
 		if cs, ok := fw.sched.(core.CellSeeder); ok {
 			cs.SeedCell(uint64(e.frame), uint64(k))
 		}
-		assignment, err := e.solveCell(&fw.scratch, &fw.regionB, fw.sched, loads)
+		assignment, err := e.solveCell(k, &fw.scratch, &fw.regionB, fw.sched, loads)
 		if err != nil {
 			g.skipped = true
 			return
@@ -703,14 +842,31 @@ func (e *Engine) gatherCell(k int, s *admitScratch, loads []float64) bool {
 	s.users = s.users[:0]
 	s.fwd = s.fwd[:0]
 	s.rev = s.rev[:0]
+	s.csi = s.csi[:0]
+	s.vers = s.vers[:0]
+	// First pass: drop stale entries and collect the live users' CSI, so the
+	// physical layer evaluates the whole cell in one batched call over the
+	// (tabulated) mode ladder. AverageThroughput is a pure function, so the
+	// two-pass shape returns exactly the per-item values the interleaved
+	// loop produced.
 	for _, item := range s.items {
 		u := e.userByID(item.UserID)
 		if u == nil || u.queuedReq != item {
 			queue.Remove(item) // stale entry
 			continue
 		}
-		bp := e.phy.AverageThroughput(u.meanCSIdB)
+		s.users = append(s.users, u)
+		s.csi = append(s.csi, u.meanCSIdB)
+	}
+	if len(s.users) == 0 {
+		return false
+	}
+	s.bp = e.avgThroughputBatch(s.bp, s.csi)
+	for i, u := range s.users {
+		item := u.queuedReq
+		bp := s.bp[i]
 		wait := e.now - item.ArrivalTime
+		s.vers = append(s.vers, u.ver)
 		s.reqs = append(s.reqs, core.Request{
 			UserID:        u.id,
 			SizeBits:      item.SizeBits,
@@ -720,7 +876,6 @@ func (e *Engine) gatherCell(k int, s *admitScratch, loads []float64) bool {
 			AvgThroughput: bp,
 			MaxRatio:      e.cfg.RatePlan.MaxUsefulRatio(item.SizeBits, bp, e.cfg.MinBurstDuration),
 		})
-		s.users = append(s.users, u)
 		switch e.cfg.Direction {
 		case Forward:
 			// The request shares the user's FCH ledger: the region builder
@@ -755,26 +910,59 @@ func (e *Engine) gatherCell(k int, s *admitScratch, loads []float64) bool {
 	return len(s.reqs) > 0
 }
 
-// solveCell builds the admissible region for the gathered requests against
-// the given ledger and solves the scheduling problem with the given
-// scheduler and region builder. The returned assignment indexes s.users.
-func (e *Engine) solveCell(s *admitScratch, rb *measurement.RegionBuilder, sched core.Scheduler, loads []float64) (core.Assignment, error) {
+// avgThroughputBatch fills dst with the physical layer's average throughput
+// for each CSI value. The adaptive coder evaluates the whole vector in one
+// batched pass over the (tabulated) ladder; other phy implementations (the
+// fixed-rate ablation) fall back to the scalar call per element. Either way
+// every element equals e.phy.AverageThroughput of its input.
+func (e *Engine) avgThroughputBatch(dst, csi []float64) []float64 {
+	if c, ok := e.phy.(*vtaoc.Coder); ok {
+		return c.AverageThroughputBatch(dst, csi)
+	}
+	if cap(dst) < len(csi) {
+		dst = make([]float64, len(csi))
+	}
+	dst = dst[:len(csi)]
+	for i, v := range csi {
+		dst[i] = e.phy.AverageThroughput(v)
+	}
+	return dst
+}
+
+// solveCell builds cell k's admissible region for the gathered requests
+// against the given ledger and solves the scheduling problem with the given
+// scheduler and region builder. On the fast path the region comes from the
+// incremental cache (rebuilt through rb only when the cell's request set,
+// measurement versions or — reverse link — involved-cell loads changed);
+// the exact reference path always rebuilds. The returned assignment indexes
+// s.users.
+func (e *Engine) solveCell(k int, s *admitScratch, rb *measurement.RegionBuilder, sched core.Scheduler, loads []float64) (core.Assignment, error) {
 	var region measurement.Region
 	var err error
 	switch e.cfg.Direction {
 	case Forward:
-		region, err = rb.Forward(measurement.ForwardState{
+		state := measurement.ForwardState{
 			CurrentLoad: loads,
 			MaxLoad:     e.cfg.MaxCellPowerW,
 			GammaS:      e.cfg.RatePlan.GammaS,
-		}, s.fwd)
+		}
+		if e.incr != nil {
+			region, _, err = e.incr.ForwardCell(k, rb, state, s.fwd, s.vers)
+		} else {
+			region, err = rb.Forward(state, s.fwd)
+		}
 	case Reverse:
-		region, err = rb.Reverse(measurement.ReverseState{
+		state := measurement.ReverseState{
 			TotalReceived: loads,
 			MaxReceived:   e.cfg.ReverseRiseLimit,
 			GammaS:        e.cfg.RatePlan.GammaS,
 			ShadowMargin:  e.cfg.ShadowMargin,
-		}, s.rev)
+		}
+		if e.incr != nil {
+			region, _, err = e.incr.ReverseCell(k, rb, state, s.rev, s.vers)
+		} else {
+			region, err = rb.Reverse(state, s.rev)
+		}
 	}
 	if err != nil {
 		return core.Assignment{}, err

@@ -42,10 +42,20 @@ func TestPopulateCounts(t *testing.T) {
 	if len(e.queues) != 7 || e.loads.NumCells() != 7 {
 		t.Error("per-cell structures sized wrong")
 	}
-	// Every user must have one shadowing process per cell and a fading source.
+	// The SoA physics batches must cover every user, and each user's gain
+	// slice must alias its row of the channel batch (one gain per cell).
+	if e.mobB == nil || e.fadeB == nil || e.chanB == nil {
+		t.Fatal("physics batches not initialised")
+	}
+	if e.mobB.Len() != len(e.users) {
+		t.Fatalf("mobility batch sized for %d users, want %d", e.mobB.Len(), len(e.users))
+	}
 	for _, u := range e.users {
-		if len(u.shadow) != 7 || len(u.gain) != 7 || u.fade == nil || u.source == nil || u.macM == nil {
+		if len(u.gain) != 7 || u.source == nil || u.macM == nil {
 			t.Fatal("user substructures not initialised")
+		}
+		if row := e.chanB.GainRow(u.id); &u.gain[0] != &row[0] {
+			t.Fatalf("user %d gain does not alias its channel batch row", u.id)
 		}
 	}
 }
@@ -389,7 +399,7 @@ func TestSnapshotSolvePhaseLeavesLedgerUntouched(t *testing.T) {
 	if !e.gatherCell(u.queuedCell, s, e.loads.Values()) {
 		t.Fatal("gather found nothing to schedule")
 	}
-	if _, err := e.solveCell(s, &e.workers[0].regionB, e.workers[0].sched, e.loads.Values()); err != nil {
+	if _, err := e.solveCell(u.queuedCell, s, &e.workers[0].regionB, e.workers[0].sched, e.loads.Values()); err != nil {
 		t.Fatal(err)
 	}
 	for k, v := range e.loads.Values() {

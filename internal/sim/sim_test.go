@@ -98,7 +98,11 @@ func TestRunForwardProducesTraffic(t *testing.T) {
 	if m.Cells != 7 {
 		t.Errorf("cells = %d, want 7", m.Cells)
 	}
-	if m.CompletionRatio() <= 0 || m.CompletionRatio() > 1 {
+	// The ratio counts completions and generations inside the observed
+	// window independently, so a burst generated just before the warm-up
+	// cutoff that completes just after it can push the ratio slightly above
+	// 1 on a short run; anything well beyond that means double counting.
+	if m.CompletionRatio() <= 0 || m.CompletionRatio() > 1.1 {
 		t.Errorf("completion ratio = %v", m.CompletionRatio())
 	}
 	if m.Coverage() < 0 || m.Coverage() > 1 {
@@ -463,5 +467,111 @@ func TestSnapshotModeRequiresClonableScheduler(t *testing.T) {
 	cfg.FrameParallel = -1
 	if _, err := NewEngine(cfg); err == nil {
 		t.Error("negative FrameParallel should be rejected")
+	}
+}
+
+// TestIncrementalRegionsMatchFullRebuild is the correctness contract of the
+// incremental region cache: with RegionEpsilon = 0 a cached region is reused
+// only when its inputs are bitwise unchanged, so for every frame mode and
+// worker count the cache-enabled engine must produce exactly the output of
+// the same engine rebuilding every region from scratch (ForceFull). The
+// static-user scenario pins that the equality is not vacuous — paused users
+// keep their measurement versions, so the cache actually serves hits there.
+func TestIncrementalRegionsMatchFullRebuild(t *testing.T) {
+	run := func(cfg Config, forceFull bool) (*Metrics, uint64) {
+		t.Helper()
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.incr == nil {
+			t.Fatal("fast path engine has no incremental region cache")
+		}
+		e.incr.ForceFull = forceFull
+		m, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits, _ := e.incr.Stats()
+		return m, hits
+	}
+	scenarios := []struct {
+		name     string
+		mutate   func(*Config)
+		wantHits bool
+	}{
+		// Static users pause forever after placement: measurement versions
+		// freeze, so stable request queues reuse their cached regions.
+		{"static", func(c *Config) { c.MinSpeed, c.MaxSpeed = 0, 0 }, true},
+		// Moving users re-mark dirty every frame at epsilon 0; the cache
+		// degenerates to full rebuilds and must still match exactly.
+		{"moving", func(c *Config) {}, false},
+	}
+	modes := []struct {
+		mode FrameMode
+		par  int
+	}{
+		{FrameSequential, 0},
+		{FrameSnapshot, 1},
+		{FrameSnapshot, 2},
+		{FrameSnapshot, 8},
+	}
+	for _, sc := range scenarios {
+		for _, dir := range []Direction{Forward, Reverse} {
+			base := quickConfig()
+			base.SimTime = 4
+			base.Direction = dir
+			// Enough contention that requests wait in queue across frames —
+			// a cache hit needs the same request set in consecutive builds.
+			base.DataUsersPerCell = 14
+			sc.mutate(&base)
+			for _, mc := range modes {
+				cfg := base
+				cfg.FrameMode = mc.mode
+				cfg.FrameParallel = mc.par
+				full, _ := run(cfg, true)
+				incr, hits := run(cfg, false)
+				if fingerprint(full) != fingerprint(incr) {
+					t.Errorf("%s %s %s/par=%d: incremental diverged from full rebuild: %v vs %v",
+						sc.name, dir, mc.mode, mc.par, fingerprint(incr), fingerprint(full))
+				}
+				// Reverse-link reuse additionally requires the involved
+				// cells' ledger loads to match bitwise at epsilon 0, and
+				// voice activity perturbs them every frame — so only the
+				// forward link is required to actually serve hits here.
+				if sc.wantHits && dir == Forward && hits == 0 {
+					t.Errorf("%s %s %s/par=%d: incremental cache never hit", sc.name, dir, mc.mode, mc.par)
+				}
+			}
+		}
+	}
+}
+
+// TestRegionEpsilonReuse covers the drift-tolerant cache mode: with a
+// positive RegionEpsilon slowly moving users stay below the dirty threshold
+// for stretches of frames, so the cache serves hits even though everyone is
+// in motion, and the run still completes bursts. (Outputs may differ from a
+// full rebuild by design — the reused rows are up to epsilon stale.)
+func TestRegionEpsilonReuse(t *testing.T) {
+	cfg := quickConfig()
+	cfg.SimTime = 4
+	cfg.MaxSpeed = 2          // slow walkers
+	cfg.ShadowDecorrM = 500   // long decorrelation: shadowing drifts gently
+	cfg.DataUsersPerCell = 14 // enough contention that requests wait in queue
+	cfg.RegionEpsilon = 0.05
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := e.incr.Stats()
+	if hits == 0 {
+		t.Errorf("no cache hits with RegionEpsilon=%g (misses=%d)", cfg.RegionEpsilon, misses)
+	}
+	if m.BurstsCompleted == 0 {
+		t.Error("epsilon run completed no bursts")
 	}
 }

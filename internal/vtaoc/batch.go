@@ -1,0 +1,18 @@
+package vtaoc
+
+// AverageThroughputBatch fills dst[i] with AverageThroughput(csi[i]) for
+// every entry and returns dst, grown as needed. The engine's gather phase
+// evaluates the whole cell's local-mean CSI vector in one call so the
+// per-request work stays a tight loop over the (tabulated) ladder instead of
+// an interface call per request; each element is exactly AverageThroughput
+// of the corresponding input, LUT or exact depending on Tabulate.
+func (c *Coder) AverageThroughputBatch(dst, csi []float64) []float64 {
+	if cap(dst) < len(csi) {
+		dst = make([]float64, len(csi))
+	}
+	dst = dst[:len(csi)]
+	for i, v := range csi {
+		dst[i] = c.AverageThroughput(v)
+	}
+	return dst
+}

@@ -1,0 +1,104 @@
+package vtaoc
+
+import (
+	"math"
+	"testing"
+
+	"jabasd/internal/race"
+)
+
+// TestAverageThroughputBatchMatchesScalar pins the batch evaluator
+// element-for-element to the scalar call, both before (exact) and after
+// (LUT) tabulation.
+func TestAverageThroughputBatchMatchesScalar(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	csi := make([]float64, 0, 400)
+	for v := -25.0; v <= 50.0; v += 0.19 {
+		csi = append(csi, v)
+	}
+	for _, tabulated := range []bool{false, true} {
+		if tabulated {
+			c.Tabulate()
+		}
+		got := c.AverageThroughputBatch(nil, csi)
+		if len(got) != len(csi) {
+			t.Fatalf("tabulated=%v: got %d results for %d inputs", tabulated, len(got), len(csi))
+		}
+		for i, v := range csi {
+			if want := c.AverageThroughput(v); got[i] != want {
+				t.Fatalf("tabulated=%v csi=%v: batch %v != scalar %v", tabulated, v, got[i], want)
+			}
+		}
+	}
+}
+
+// TestAverageThroughputBatchReuse checks the destination buffer is reused
+// when capacity allows.
+func TestAverageThroughputBatchReuse(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 8)
+	out := c.AverageThroughputBatch(buf, []float64{1, 2, 3})
+	if &out[0] != &buf[0] {
+		t.Fatalf("batch did not reuse the destination buffer")
+	}
+	if len(out) != 3 {
+		t.Fatalf("len = %d, want 3", len(out))
+	}
+}
+
+// TestLUTWithinDocumentedTolerance re-asserts, at the batch API level, the
+// PR 5 guarantee the fast path leans on: tabulated results stay within 5e-7
+// absolute of the exact integral across the whole grid.
+func TestLUTWithinDocumentedTolerance(t *testing.T) {
+	exact, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lut, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lut.Tabulate()
+	csi := make([]float64, 0, 2000)
+	for v := TableMinCSIDB; v <= TableMaxCSIDB; v += 0.037 {
+		csi = append(csi, v)
+	}
+	ex := exact.AverageThroughputBatch(nil, csi)
+	lu := lut.AverageThroughputBatch(nil, csi)
+	for i := range csi {
+		if diff := math.Abs(ex[i] - lu[i]); diff > 5e-7 {
+			t.Fatalf("csi=%v: |LUT - exact| = %.3e, want <= 5e-7", csi[i], diff)
+		}
+	}
+}
+
+// TestAverageThroughputBatchAllocationFree gates the gather phase's batched
+// PHY evaluation: with a pre-grown destination slice and a tabulated coder,
+// the whole cell evaluates without a single allocation. Skips under -race,
+// whose runtime allocates on its own.
+func TestAverageThroughputBatchAllocationFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Tabulate()
+	csi := make([]float64, 64)
+	for i := range csi {
+		csi[i] = -5 + float64(i)*0.3
+	}
+	dst := make([]float64, 0, len(csi))
+	if allocs := testing.AllocsPerRun(200, func() {
+		dst = c.AverageThroughputBatch(dst[:0], csi)
+	}); allocs != 0 {
+		t.Errorf("AverageThroughputBatch allocated %v times per cell, want 0", allocs)
+	}
+}
