@@ -8,6 +8,7 @@
 package jabasd_bench
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -70,7 +71,7 @@ func BenchmarkE4ReverseAdmission(b *testing.B) {
 
 func BenchmarkE5DelayVsLoad(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E5DelayVsLoad(benchScale); err != nil {
+		if _, err := experiments.E5DelayVsLoad(context.Background(), benchScale); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -78,7 +79,7 @@ func BenchmarkE5DelayVsLoad(b *testing.B) {
 
 func BenchmarkE6UserCapacity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E6UserCapacity(benchScale, 2); err != nil {
+		if _, err := experiments.E6UserCapacity(context.Background(), benchScale, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -88,7 +89,7 @@ func BenchmarkE7Coverage(b *testing.B) {
 	small := benchScale
 	small.LoadPoints = []int{4}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E7Coverage(small); err != nil {
+		if _, err := experiments.E7Coverage(context.Background(), small); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -96,7 +97,7 @@ func BenchmarkE7Coverage(b *testing.B) {
 
 func BenchmarkE8JointDesignAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E8JointDesignAblation(benchScale); err != nil {
+		if _, err := experiments.E8JointDesignAblation(context.Background(), benchScale); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -104,7 +105,7 @@ func BenchmarkE8JointDesignAblation(b *testing.B) {
 
 func BenchmarkE9ObjectiveTradeoff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E9ObjectiveTradeoff(benchScale); err != nil {
+		if _, err := experiments.E9ObjectiveTradeoff(context.Background(), benchScale); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -112,7 +113,7 @@ func BenchmarkE9ObjectiveTradeoff(b *testing.B) {
 
 func BenchmarkE10MacStates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E10MacStates(benchScale); err != nil {
+		if _, err := experiments.E10MacStates(context.Background(), benchScale); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -120,7 +121,7 @@ func BenchmarkE10MacStates(b *testing.B) {
 
 func BenchmarkE11WarmupConvergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E11WarmupConvergence(benchScale); err != nil {
+		if _, err := experiments.E11WarmupConvergence(context.Background(), benchScale); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -128,7 +129,7 @@ func BenchmarkE11WarmupConvergence(b *testing.B) {
 
 func BenchmarkE12LoadStepResponse(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E12LoadStepResponse(benchScale); err != nil {
+		if _, err := experiments.E12LoadStepResponse(context.Background(), benchScale); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -372,7 +373,7 @@ func BenchmarkDynamicSimulationFrameRate(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg.Seed = uint64(i + 1)
-				if _, err := sim.Run(cfg); err != nil {
+				if _, err := sim.Run(context.Background(), cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -390,7 +391,7 @@ func BenchmarkParallelReplications(b *testing.B) {
 	cfg.VoiceUsersPerCell = 4
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.RunReplications(cfg, 4); err != nil {
+		if _, err := sim.RunReplications(context.Background(), cfg, 4); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -479,7 +480,7 @@ func BenchmarkSnapshotFrameAdmission(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					cfg.Seed = uint64(i + 1)
-					if _, err := sim.Run(cfg); err != nil {
+					if _, err := sim.Run(context.Background(), cfg); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -19,24 +19,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"jabasd/internal/experiments"
+	"jabasd/internal/jobspec"
 	"jabasd/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM cancel the suite: tables already printed (and their
+	// CSVs written) stay; running experiments stop at the next frame.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "jabaexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("jabaexp", flag.ContinueOnError)
 	var (
 		scaleName = fs.String("scale", "quick", "experiment scale: quick or full")
@@ -61,18 +69,13 @@ func run(args []string) error {
 		return nil
 	}
 
-	var scale experiments.Scale
-	switch *scaleName {
-	case "quick":
-		scale = experiments.Quick
-	case "full":
-		scale = experiments.Full
-	default:
-		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleName)
+	// The flags translate into the shared jobspec.ExperimentsSpec, so the
+	// id selection and scale rules match the jabaserve HTTP API exactly.
+	spec := jobspec.ExperimentsSpec{Scale: *scaleName, Parallel: *parallel, ExactPHY: *exact}
+	if *only != "" {
+		spec.Only = strings.Split(*only, ",")
 	}
-	scale.ExactPHY = *exact
-
-	defs, err := selectExperiments(*only)
+	defs, scale, err := spec.Resolve()
 	if err != nil {
 		return err
 	}
@@ -85,7 +88,7 @@ func run(args []string) error {
 
 	// Stream the tables in suite order as they complete, so a failure late in
 	// a long run still leaves every earlier table printed and its CSV written.
-	return experiments.StreamExperiments(defs, scale, *parallel, func(i int, tbl *report.Table) error {
+	return experiments.StreamExperiments(ctx, defs, scale, *parallel, func(i int, tbl *report.Table) error {
 		fmt.Printf("\n")
 		if err := tbl.WriteASCII(os.Stdout); err != nil {
 			return err
@@ -108,35 +111,4 @@ func run(args []string) error {
 		fmt.Printf("(written to %s)\n", path)
 		return nil
 	})
-}
-
-// selectExperiments resolves the -only flag against the registry, keeping
-// suite order. Unknown ids are an error, not a silent no-op.
-func selectExperiments(only string) ([]experiments.Experiment, error) {
-	if only == "" {
-		return experiments.Registry(), nil
-	}
-	wanted := map[string]bool{}
-	for _, raw := range strings.Split(only, ",") {
-		id := strings.ToUpper(strings.TrimSpace(raw))
-		if id == "" {
-			continue
-		}
-		if _, ok := experiments.ByID(id); !ok {
-			return nil, fmt.Errorf("unknown experiment id %q (valid ids: %s)",
-				raw, strings.Join(experiments.IDs(), ", "))
-		}
-		wanted[id] = true
-	}
-	if len(wanted) == 0 {
-		return nil, fmt.Errorf("-only selected no experiments (valid ids: %s)",
-			strings.Join(experiments.IDs(), ", "))
-	}
-	var defs []experiments.Experiment
-	for _, d := range experiments.Registry() {
-		if wanted[d.ID] {
-			defs = append(defs, d)
-		}
-	}
-	return defs, nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,14 +9,14 @@ import (
 )
 
 func TestRunAnalyticExperimentsOnly(t *testing.T) {
-	if err := run([]string{"-only", "E1,E2"}); err != nil {
+	if err := run(context.Background(), []string{"-only", "E1,E2"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithCSVOutput(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-only", "E1", "-out", dir}); err != nil {
+	if err := run(context.Background(), []string{"-only", "E1", "-out", dir}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "e1.csv")); err != nil {
@@ -24,26 +25,26 @@ func TestRunWithCSVOutput(t *testing.T) {
 }
 
 func TestRunUnknownScale(t *testing.T) {
-	if err := run([]string{"-scale", "galactic"}); err == nil {
+	if err := run(context.Background(), []string{"-scale", "galactic"}); err == nil {
 		t.Error("unknown scale should fail")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-nope"}); err == nil {
+	if err := run(context.Background(), []string{"-nope"}); err == nil {
 		t.Error("bad flag should fail")
 	}
 }
 
 func TestRunLowercaseIDsAccepted(t *testing.T) {
-	if err := run([]string{"-only", "e1"}); err != nil {
+	if err := run(context.Background(), []string{"-only", "e1"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperimentIDRejected(t *testing.T) {
 	for _, only := range []string{"E99", "e1x", "E1,nope", ","} {
-		err := run([]string{"-only", only})
+		err := run(context.Background(), []string{"-only", only})
 		if err == nil {
 			t.Errorf("-only %s should fail instead of silently running nothing", only)
 			continue
@@ -55,13 +56,13 @@ func TestRunUnknownExperimentIDRejected(t *testing.T) {
 }
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run(context.Background(), []string{"-list"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExplicitParallelBound(t *testing.T) {
-	if err := run([]string{"-only", "E1,E2", "-parallel", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-only", "E1,E2", "-parallel", "2"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -20,26 +20,35 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
+	"jabasd/internal/jobspec"
 	"jabasd/internal/scenario"
 	"jabasd/internal/sim"
 	"jabasd/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM cancel the context: in-flight replications stop at
+	// their next frame and the command exits with the cancellation error
+	// instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "jabasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("jabasim", flag.ContinueOnError)
 	var (
 		preset      = fs.String("preset", scenario.PresetSmoke, "named scenario preset")
@@ -70,57 +79,52 @@ func run(args []string) error {
 		return nil
 	}
 
-	var cfg sim.Config
-	var err error
+	// The flags translate into the shared jobspec.RunSpec, so this CLI, the
+	// other tools and the jabaserve HTTP API all resolve scenarios through
+	// the same layering and conflict rules.
+	spec := jobspec.RunSpec{Reps: *reps}
 	if *configPath != "" {
-		cfg, err = scenario.Load(*configPath)
+		presetSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "preset" {
+				presetSet = true
+			}
+		})
+		if presetSet {
+			return fmt.Errorf("-preset and -config are exclusive; drop one")
+		}
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		spec.Config = data
 	} else {
-		cfg, err = scenario.Lookup(*preset)
+		spec.Preset = *preset
 	}
-	if err != nil {
-		return err
-	}
-	if *scheduler != "" {
-		cfg.Scheduler = sim.SchedulerKind(*scheduler)
-	}
-	switch *direction {
-	case "":
-	case "forward":
-		cfg.Direction = sim.Forward
-	case "reverse":
-		cfg.Direction = sim.Reverse
-	default:
-		return fmt.Errorf("unknown direction %q", *direction)
+	spec.Overrides = jobspec.Overrides{
+		Scheduler: *scheduler,
+		Direction: *direction,
+		Seed:      *seed,
+		FrameMode: *frameMode,
+		ExactPHY:  *exactVTAOC,
 	}
 	if *users >= 0 {
-		cfg.DataUsersPerCell = *users
+		spec.Overrides.DataUsers = users
 	}
 	if *simTime > 0 {
-		cfg.SimTime = *simTime
-	}
-	if *seed != 0 {
-		cfg.Seed = *seed
-	}
-	switch *frameMode {
-	case "":
-	case string(sim.FrameSequential), string(sim.FrameSnapshot):
-		cfg.FrameMode = sim.FrameMode(*frameMode)
-	default:
-		return fmt.Errorf("unknown frame mode %q (want %s or %s)", *frameMode, sim.FrameSequential, sim.FrameSnapshot)
+		spec.Overrides.SimTime = *simTime
 	}
 	if *framePar != -1 {
 		if *framePar < 0 {
 			return fmt.Errorf("-frameparallel must be >= 0 (or -1 to keep the scenario's), got %d", *framePar)
 		}
-		cfg.FrameParallel = *framePar
-	}
-	if *exactVTAOC {
-		cfg.ExactPHY = true
+		spec.Overrides.FrameParallel = framePar
 	}
 	if *traceEvery < 0 {
 		return fmt.Errorf("-trace-every must be >= 0, got %d", *traceEvery)
 	}
-	if err := cfg.Validate(); err != nil {
+	cfg, nreps, err := spec.Resolve()
+	if err != nil {
 		return err
 	}
 
@@ -201,8 +205,8 @@ func run(args []string) error {
 		return nil
 	}
 
-	if *reps <= 1 {
-		m, err := sim.Run(cfg)
+	if nreps <= 1 {
+		m, err := sim.Run(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -215,7 +219,7 @@ func run(args []string) error {
 		printMetrics(m)
 		return nil
 	}
-	agg, err := sim.RunReplications(cfg, *reps)
+	agg, err := sim.RunReplications(ctx, cfg, nreps)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,40 +9,40 @@ import (
 )
 
 func TestRunListPresets(t *testing.T) {
-	if err := run([]string{"-list-presets"}); err != nil {
+	if err := run(context.Background(), []string{"-list-presets"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDumpConfig(t *testing.T) {
-	if err := run([]string{"-preset", "smoke", "-dump-config"}); err != nil {
+	if err := run(context.Background(), []string{"-preset", "smoke", "-dump-config"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSmokeSingleReplication(t *testing.T) {
-	if err := run([]string{"-preset", "smoke", "-sim-time", "4", "-data-users", "3", "-seed", "7"}); err != nil {
+	if err := run(context.Background(), []string{"-preset", "smoke", "-sim-time", "4", "-data-users", "3", "-seed", "7"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSmokeMultiReplication(t *testing.T) {
-	if err := run([]string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-reps", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-reps", "2"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunReverseDirectionOverride(t *testing.T) {
-	if err := run([]string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-direction", "reverse"}); err != nil {
+	if err := run(context.Background(), []string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-direction", "reverse"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-direction", "forward"}); err != nil {
+	if err := run(context.Background(), []string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-direction", "forward"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSchedulerOverride(t *testing.T) {
-	if err := run([]string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-scheduler", "fcfs"}); err != nil {
+	if err := run(context.Background(), []string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-scheduler", "fcfs"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -52,10 +53,11 @@ func TestRunErrors(t *testing.T) {
 		{"-direction", "sideways"},
 		{"-preset", "smoke", "-scheduler", "bogus"},
 		{"-config", filepath.Join(t.TempDir(), "missing.json")},
+		{"-preset", "smoke", "-config", "anything.json"}, // exclusive pair
 		{"-badflag"},
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("args %v should fail", args)
 		}
 	}
@@ -70,26 +72,26 @@ func TestRunFromConfigFile(t *testing.T) {
 	if err := os.WriteFile(path, content, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-config", path}); err != nil {
+	if err := run(context.Background(), []string{"-config", path}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFrameModeOverride(t *testing.T) {
 	args := []string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2"}
-	if err := run(append(args, "-framemode", "snapshot", "-frameparallel", "2")); err != nil {
+	if err := run(context.Background(), append(args, "-framemode", "snapshot", "-frameparallel", "2")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(append(args, "-framemode", "sequential")); err != nil {
+	if err := run(context.Background(), append(args, "-framemode", "sequential")); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-preset", "metro", "-dump-config"}); err != nil {
+	if err := run(context.Background(), []string{"-preset", "metro", "-dump-config"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(append(args, "-framemode", "warp")); err == nil {
+	if err := run(context.Background(), append(args, "-framemode", "warp")); err == nil {
 		t.Error("unknown frame mode should fail")
 	}
-	if err := run(append(args, "-framemode", "snapshot", "-frameparallel", "-2")); err == nil {
+	if err := run(context.Background(), append(args, "-framemode", "snapshot", "-frameparallel", "-2")); err == nil {
 		// -2 passes the flag's "keep scenario" sentinel of -1, so it must
 		// reach Validate and be rejected there.
 		t.Error("negative FrameParallel should fail validation")
@@ -99,7 +101,7 @@ func TestRunFrameModeOverride(t *testing.T) {
 func TestRunTraceCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.csv")
 	args := []string{"-preset", "smoke", "-sim-time", "3", "-data-users", "3", "-trace", path, "-trace-every", "25"}
-	if err := run(args); err != nil {
+	if err := run(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -119,7 +121,7 @@ func TestRunTraceCSV(t *testing.T) {
 func TestRunTraceJSONLAndMultiRep(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.jsonl")
 	args := []string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-reps", "2", "-trace", path, "-trace-every", "50"}
-	if err := run(args); err != nil {
+	if err := run(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -132,11 +134,11 @@ func TestRunTraceJSONLAndMultiRep(t *testing.T) {
 }
 
 func TestRunTraceErrors(t *testing.T) {
-	if err := run([]string{"-preset", "smoke", "-trace-every", "-1"}); err == nil {
+	if err := run(context.Background(), []string{"-preset", "smoke", "-trace-every", "-1"}); err == nil {
 		t.Error("negative -trace-every should fail")
 	}
 	missingDir := filepath.Join(t.TempDir(), "no", "such", "dir", "t.csv")
-	if err := run([]string{"-preset", "smoke", "-sim-time", "3", "-trace", missingDir}); err == nil {
+	if err := run(context.Background(), []string{"-preset", "smoke", "-sim-time", "3", "-trace", missingDir}); err == nil {
 		t.Error("unwritable -trace path should fail")
 	}
 }

@@ -24,22 +24,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"jabasd/internal/jobspec"
 	"jabasd/internal/report"
 	"jabasd/internal/scenario"
-	"jabasd/internal/sim"
 	"jabasd/internal/sweep"
 	"jabasd/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the sweep: completed points stay written (CSV
+	// streams row by row), queued work never starts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "jabasweep:", err)
 		os.Exit(1)
 	}
@@ -55,12 +62,13 @@ func (a *axisFlags) Set(v string) error {
 	return nil
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("jabasweep", flag.ContinueOnError)
 	var axes axisFlags
 	fs.Var(&axes, "axis", "axis spec name=v1,v2,... (repeatable; see -list-axes)")
 	var (
 		presetName = fs.String("preset", scenario.PresetSmoke, "scenario preset anchoring every grid point")
+		configPath = fs.String("config", "", "JSON scenario file anchoring every grid point (excludes -preset/-grid)")
 		gridName   = fs.String("grid", "", "built-in named grid (see -list-grids; excludes -preset/-axis)")
 		reps       = fs.Int("reps", 1, "independent replications per grid point")
 		parallel   = fs.Int("parallel", 0, "max concurrent (point x replication) work items (0 = GOMAXPROCS)")
@@ -81,11 +89,6 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *format != "csv" && *format != "json" {
 		return fmt.Errorf("unknown format %q (want csv or json)", *format)
-	}
-	switch *frameMode {
-	case "", string(sim.FrameSequential), string(sim.FrameSnapshot):
-	default:
-		return fmt.Errorf("unknown frame mode %q (want %s or %s)", *frameMode, sim.FrameSequential, sim.FrameSnapshot)
 	}
 	if *framePar < -1 {
 		return fmt.Errorf("-frameparallel must be >= 0 (or -1 to keep each point's), got %d", *framePar)
@@ -116,25 +119,48 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	// The flags translate into the shared jobspec.SweepSpec, so the
+	// grid/preset/config/axis/override conflict rules and the point
+	// expansion are exactly the ones the jabaserve HTTP API applies.
+	spec := jobspec.SweepSpec{
+		Grid:     *gridName,
+		Axes:     axes,
+		Reps:     *reps,
+		Parallel: *parallel,
+		Overrides: jobspec.Overrides{
+			Seed:      *seed,
+			FrameMode: *frameMode,
+			ExactPHY:  *exactVTAOC,
+		},
+	}
+	if *framePar >= 0 {
+		spec.Overrides.FrameParallel = framePar
+	}
 	presetSet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "preset" {
 			presetSet = true
 		}
 	})
-	grid, err := selectGrid(*gridName, *presetName, presetSet, axes)
+	switch {
+	case *configPath != "":
+		if presetSet {
+			return fmt.Errorf("-preset and -config are exclusive; drop one")
+		}
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		spec.Scenario.Config = data
+	case presetSet || *gridName == "":
+		// The preset default only applies when no named grid (which carries
+		// its own preset) was chosen; an explicit -preset next to -grid is
+		// the conflict Resolve rejects.
+		spec.Preset = *presetName
+	}
+	grid, opts, err := spec.Resolve()
 	if err != nil {
 		return err
-	}
-	if *frameMode != "" {
-		// Options.Mutate runs after the axis values are baked into each
-		// point, so a flag override would silently clobber a framemode axis
-		// and mislabel its rows; refuse the combination instead.
-		for _, ax := range grid.Axes {
-			if ax.Name == "framemode" {
-				return fmt.Errorf("-framemode conflicts with the framemode axis; drop one")
-			}
-		}
 	}
 
 	if *dryRun {
@@ -174,21 +200,6 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	opts := sweep.Options{Reps: *reps, Parallel: *parallel, BaseSeed: *seed}
-	if *frameMode != "" || *framePar >= 0 || *exactVTAOC {
-		opts.Mutate = func(c *sim.Config) {
-			if *frameMode != "" {
-				c.FrameMode = sim.FrameMode(*frameMode)
-			}
-			if *framePar >= 0 {
-				c.FrameParallel = *framePar
-			}
-			if *exactVTAOC {
-				c.ExactPHY = true
-			}
-		}
-	}
-
 	// Per-point telemetry: each point's replication 0 records into its own
 	// in-memory sink (points run concurrently; a sink is single-writer),
 	// and the rows stream to the trace file in grid order as each point
@@ -233,7 +244,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	err = sweep.Stream(grid, opts, func(r sweep.Result) error {
+	err = sweep.Stream(ctx, grid, opts, func(r sweep.Result) error {
 		fmt.Fprintf(os.Stderr, "point %d/%s done (%d reps)\n", r.Index, r.Label(), r.Agg.Replications)
 		if err := writePointTrace(r); err != nil {
 			return err
@@ -269,17 +280,4 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
 	}
 	return nil
-}
-
-// selectGrid resolves the -grid / -preset / -axis flags into one grid. A
-// named grid carries its own preset and axes, so explicitly combining it
-// with either flag is a conflict, not something to silently ignore.
-func selectGrid(gridName, presetName string, presetSet bool, axes []string) (sweep.Grid, error) {
-	if gridName != "" {
-		if len(axes) > 0 || presetSet {
-			return sweep.Grid{}, fmt.Errorf("-grid carries its own preset and axes; drop -preset/-axis")
-		}
-		return sweep.LookupGrid(gridName)
-	}
-	return sweep.New(presetName, axes)
 }

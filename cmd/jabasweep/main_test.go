@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -13,7 +14,7 @@ import (
 func capture(t *testing.T, args ...string) string {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := run(args, &buf); err != nil {
+	if err := run(context.Background(), args, &buf); err != nil {
 		t.Fatalf("run %v: %v", args, err)
 	}
 	return buf.String()
@@ -114,10 +115,11 @@ func TestRunErrors(t *testing.T) {
 		{"-grid", "paper-load-sweep", "-preset", "smoke"},
 		{"-axis", "datausers=2", "-axis", "datausers=4"},
 		{"-format", "xml"},
+		{"-preset", "smoke", "-config", "anything.json"}, // exclusive pair
 		{"-badflag"},
 	}
 	for _, args := range cases {
-		if err := run(args, &bytes.Buffer{}); err == nil {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v should fail", args)
 		}
 	}
@@ -144,7 +146,7 @@ func TestSweepFrameModeAxisAndFlagValidation(t *testing.T) {
 		t.Errorf("framemode axis did not expand:\n%s", out)
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-preset", "smoke", "-framemode", "warp"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-preset", "smoke", "-framemode", "warp"}, &buf); err == nil {
 		t.Error("unknown -framemode should fail")
 	}
 }
@@ -153,7 +155,7 @@ func TestFrameModeFlagConflictsWithFrameModeAxis(t *testing.T) {
 	// The flag override runs after axis values are applied, so combining it
 	// with a framemode axis would mislabel rows; it must be rejected.
 	var buf bytes.Buffer
-	err := run([]string{"-preset", "smoke", "-axis", "framemode=sequential,snapshot",
+	err := run(context.Background(), []string{"-preset", "smoke", "-axis", "framemode=sequential,snapshot",
 		"-framemode", "snapshot", "-points"}, &buf)
 	if err == nil || !strings.Contains(err.Error(), "framemode") {
 		t.Errorf("expected a framemode conflict error, got %v", err)
@@ -199,8 +201,27 @@ func TestSweepTraceFileDeterministicAcrossParallel(t *testing.T) {
 	}
 }
 
+// TestSweepFromConfigFile anchors an ad-hoc grid on a JSON scenario instead
+// of a preset: the axes expand over the file's configuration, and combining
+// the file with a named grid is rejected.
+func TestSweepFromConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	content := []byte(`{"Rings": 1, "SimTime": 3, "WarmupTime": 1, "VoiceUsersPerCell": 2}`)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, "-config", path, "-axis", "datausers=2,4")
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Errorf("expected header + 2 rows, got %d lines:\n%s", got, out)
+	}
+	err := run(context.Background(), []string{"-grid", "paper-load-sweep", "-config", path}, &bytes.Buffer{})
+	if err == nil {
+		t.Error("-grid with -config should conflict")
+	}
+}
+
 func TestSweepTraceEveryValidation(t *testing.T) {
-	err := run([]string{"-preset", "smoke", "-axis", "datausers=2", "-trace-every", "-1"}, os.Stdout)
+	err := run(context.Background(), []string{"-preset", "smoke", "-axis", "datausers=2", "-trace-every", "-1"}, os.Stdout)
 	if err == nil {
 		t.Error("negative -trace-every should fail")
 	}

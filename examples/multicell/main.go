@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 	fmt.Printf("%-14s %12s %12s %16s %10s %10s\n",
 		"scheduler", "mean delay", "p90 delay", "tput/cell (bps)", "coverage", "cell load")
 
-	results, err := sim.CompareSchedulers(cfg, kinds, 2)
+	results, err := sim.CompareSchedulers(context.Background(), cfg, kinds, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

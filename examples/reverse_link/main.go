@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -93,7 +94,7 @@ func main() {
 	fmt.Println("\nReverse-link dynamic simulation (20 s, 7 cells):")
 	for _, k := range []sim.SchedulerKind{sim.SchedulerJABASD, sim.SchedulerFCFS} {
 		cfg.Scheduler = k
-		m, err := sim.Run(cfg)
+		m, err := sim.Run(context.Background(), cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -76,6 +76,35 @@ func (k ObjectiveKind) String() string {
 	}
 }
 
+// MarshalJSON encodes the kind as the paper's short name, "j1" or "j2", so
+// configuration files and API payloads read as prose rather than enum
+// ordinals.
+func (k ObjectiveKind) MarshalJSON() ([]byte, error) {
+	switch k {
+	case ObjectiveThroughput:
+		return []byte(`"j1"`), nil
+	case ObjectiveDelayAware:
+		return []byte(`"j2"`), nil
+	default:
+		return nil, fmt.Errorf("core: cannot encode unknown ObjectiveKind(%d)", int(k))
+	}
+}
+
+// UnmarshalJSON accepts the short names ("j1"/"j2"), the descriptive names
+// ("throughput"/"delay-aware") and, for configuration files written before
+// the string encoding, the raw ordinals 0 and 1.
+func (k *ObjectiveKind) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"j1"`, `"throughput"`, `"J1-throughput"`, `0`:
+		*k = ObjectiveThroughput
+	case `"j2"`, `"delay-aware"`, `"J2-delay-aware"`, `1`:
+		*k = ObjectiveDelayAware
+	default:
+		return fmt.Errorf("core: unknown objective kind %s (want \"j1\" or \"j2\")", data)
+	}
+	return nil
+}
+
 // Objective parameterises the delay penalty f(w, r) of equation (21):
 //
 //	f(w, r) = Lambda * w * max(0, 1 - r/RateScale),

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -372,7 +373,7 @@ func randomReverseProblem(src *rng.Source, nd int) (core.Problem, error) {
 // E5DelayVsLoad sweeps the number of data users per cell and reports the mean
 // burst delay, 90th-percentile delay and per-cell throughput for JABA-SD,
 // FCFS and equal-share under the full dynamic simulation.
-func E5DelayVsLoad(s Scale) (*report.Table, error) {
+func E5DelayVsLoad(ctx context.Context, s Scale) (*report.Table, error) {
 	t := report.NewTable("E5: average burst delay vs offered load ("+s.Name+" scale)",
 		"data_users_per_cell", "scheduler", "mean_delay_s", "p90_delay_s",
 		"admission_wait_s", "throughput_per_cell_bps", "coverage", "completion")
@@ -380,7 +381,7 @@ func E5DelayVsLoad(s Scale) (*report.Table, error) {
 	for _, load := range s.LoadPoints {
 		cfg := baseConfig(s)
 		cfg.DataUsersPerCell = load
-		aggs, err := sim.CompareSchedulers(cfg, kinds, s.Replications)
+		aggs, err := sim.CompareSchedulers(ctx, cfg, kinds, s.Replications)
 		if err != nil {
 			return nil, err
 		}
@@ -401,7 +402,7 @@ func E5DelayVsLoad(s Scale) (*report.Table, error) {
 // scale's sweep whose mean burst admission wait (queueing before the first
 // grant, the part of the delay the admission algorithm controls) stays below
 // the target — the paper's "data user capacity" metric.
-func E6UserCapacity(s Scale, waitTargetS float64) (*report.Table, error) {
+func E6UserCapacity(ctx context.Context, s Scale, waitTargetS float64) (*report.Table, error) {
 	if waitTargetS <= 0 {
 		waitTargetS = 2
 	}
@@ -413,7 +414,7 @@ func E6UserCapacity(s Scale, waitTargetS float64) (*report.Table, error) {
 	for _, load := range s.LoadPoints {
 		cfg := baseConfig(s)
 		cfg.DataUsersPerCell = load
-		aggs, err := sim.CompareSchedulers(cfg, kinds, s.Replications)
+		aggs, err := sim.CompareSchedulers(ctx, cfg, kinds, s.Replications)
 		if err != nil {
 			return nil, err
 		}
@@ -437,14 +438,14 @@ func E6UserCapacity(s Scale, waitTargetS float64) (*report.Table, error) {
 // E7Coverage sweeps the shadowing standard deviation and reports the coverage
 // (fraction of completed bursts served at least at the FCH rate) for JABA-SD
 // and FCFS.
-func E7Coverage(s Scale) (*report.Table, error) {
+func E7Coverage(ctx context.Context, s Scale) (*report.Table, error) {
 	t := report.NewTable("E7: coverage vs shadowing sigma ("+s.Name+" scale)",
 		"shadow_sigma_dB", "scheduler", "coverage", "mean_delay_s")
 	kinds := []sim.SchedulerKind{sim.SchedulerJABASD, sim.SchedulerFCFS}
 	for _, sigma := range []float64{4, 8, 12} {
 		cfg := baseConfig(s)
 		cfg.ShadowSigmaDB = sigma
-		aggs, err := sim.CompareSchedulers(cfg, kinds, s.Replications)
+		aggs, err := sim.CompareSchedulers(ctx, cfg, kinds, s.Replications)
 		if err != nil {
 			return nil, err
 		}
@@ -463,7 +464,7 @@ func E7Coverage(s Scale) (*report.Table, error) {
 // {JABA-SD, FCFS} and reports delay and throughput, demonstrating the paper's
 // synergy claim: the gain of the joint design exceeds the sum of either
 // component alone.
-func E8JointDesignAblation(s Scale) (*report.Table, error) {
+func E8JointDesignAblation(ctx context.Context, s Scale) (*report.Table, error) {
 	t := report.NewTable("E8: joint design ablation ("+s.Name+" scale)",
 		"phy", "scheduler", "mean_delay_s", "throughput_per_cell_bps", "coverage")
 	for _, fixed := range []bool{false, true} {
@@ -472,7 +473,7 @@ func E8JointDesignAblation(s Scale) (*report.Table, error) {
 			cfg.UseFixedRatePHY = fixed
 			cfg.FixedRateMode = 3
 			cfg.Scheduler = k
-			agg, err := sim.RunReplications(cfg, s.Replications)
+			agg, err := sim.RunReplications(ctx, cfg, s.Replications)
 			if err != nil {
 				return nil, err
 			}
@@ -493,7 +494,7 @@ func E8JointDesignAblation(s Scale) (*report.Table, error) {
 // E9ObjectiveTradeoff sweeps the delay-penalty weight λ of objective J2
 // (λ = 0 is J1) and reports mean delay, p90 delay and throughput under
 // JABA-SD, exposing the utilisation/delay trade-off of Section 3.2.
-func E9ObjectiveTradeoff(s Scale) (*report.Table, error) {
+func E9ObjectiveTradeoff(ctx context.Context, s Scale) (*report.Table, error) {
 	t := report.NewTable("E9: objective J1 vs J2 trade-off ("+s.Name+" scale)",
 		"lambda", "mean_delay_s", "p90_delay_s", "throughput_per_cell_bps")
 	for _, lambda := range []float64{0, 0.05, 0.2, 0.5} {
@@ -506,7 +507,7 @@ func E9ObjectiveTradeoff(s Scale) (*report.Table, error) {
 		} else {
 			cfg.Objective = core.Objective{Kind: core.ObjectiveDelayAware, Lambda: lambda, RateScale: 16}
 		}
-		agg, err := sim.RunReplications(cfg, s.Replications)
+		agg, err := sim.RunReplications(ctx, cfg, s.Replications)
 		if err != nil {
 			return nil, err
 		}
@@ -522,7 +523,7 @@ func E9ObjectiveTradeoff(s Scale) (*report.Table, error) {
 // E10MacStates sweeps the Suspended-state set-up penalty D2 and reports the
 // resulting mean burst delay and admission wait, quantifying how much the
 // MAC state machine contributes to the overall packet delay.
-func E10MacStates(s Scale) (*report.Table, error) {
+func E10MacStates(ctx context.Context, s Scale) (*report.Table, error) {
 	t := report.NewTable("E10: MAC set-up penalty sweep ("+s.Name+" scale)",
 		"D2_seconds", "mean_delay_s", "mean_admission_wait_s")
 	for _, d2 := range []float64{0.2, 1.0, 3.0} {
@@ -534,7 +535,7 @@ func E10MacStates(s Scale) (*report.Table, error) {
 		if cfg.MAC.D1 > d2 {
 			cfg.MAC.D1 = d2
 		}
-		agg, err := sim.RunReplications(cfg, s.Replications)
+		agg, err := sim.RunReplications(ctx, cfg, s.Replications)
 		if err != nil {
 			return nil, err
 		}

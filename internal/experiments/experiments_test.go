@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"testing"
 )
@@ -124,7 +125,7 @@ func TestE5DelayVsLoadQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("dynamic simulation experiment skipped in -short mode")
 	}
-	tbl, err := E5DelayVsLoad(tinyScale)
+	tbl, err := E5DelayVsLoad(context.Background(), tinyScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestE8JointDesignAblationQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("dynamic simulation experiment skipped in -short mode")
 	}
-	tbl, err := E8JointDesignAblation(tinyScale)
+	tbl, err := E8JointDesignAblation(context.Background(), tinyScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,10 +165,10 @@ func TestE9E10Quick(t *testing.T) {
 	}
 	small := tinyScale
 	small.LoadPoints = []int{3}
-	if tbl, err := E9ObjectiveTradeoff(small); err != nil || tbl.NumRows() != 4 {
+	if tbl, err := E9ObjectiveTradeoff(context.Background(), small); err != nil || tbl.NumRows() != 4 {
 		t.Fatalf("E9: %v rows=%v", err, tbl)
 	}
-	if tbl, err := E10MacStates(small); err != nil || tbl.NumRows() != 3 {
+	if tbl, err := E10MacStates(context.Background(), small); err != nil || tbl.NumRows() != 3 {
 		t.Fatalf("E10: %v rows=%v", err, tbl)
 	}
 }
@@ -178,14 +179,14 @@ func TestE6E7Quick(t *testing.T) {
 	}
 	small := tinyScale
 	small.LoadPoints = []int{3}
-	tbl, err := E6UserCapacity(small, 0) // default target path
+	tbl, err := E6UserCapacity(context.Background(), small, 0) // default target path
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tbl.NumRows() != 3 {
 		t.Fatalf("E6 rows = %d", tbl.NumRows())
 	}
-	tbl7, err := E7Coverage(small)
+	tbl7, err := E7Coverage(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}

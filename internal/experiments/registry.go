@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,8 +23,10 @@ type Experiment struct {
 	// simulator; their output is independent of the scale's simulated time
 	// and replication count.
 	Analytic bool
-	// Run produces the results table.
-	Run func(Scale) (*report.Table, error)
+	// Run produces the results table. The context cancels the dynamic
+	// simulations an experiment runs mid-flight; the analytic experiments
+	// complete fast enough that they ignore it.
+	Run func(context.Context, Scale) (*report.Table, error)
 }
 
 // Registry returns the ordered experiment suite E1-E12. It is the single
@@ -33,51 +36,51 @@ func Registry() []Experiment {
 	return []Experiment{
 		{
 			ID: "E1", Title: "adaptive physical layer throughput vs mean CSI", Analytic: true,
-			Run: func(Scale) (*report.Table, error) { return E1AdaptivePhyThroughput() },
+			Run: func(context.Context, Scale) (*report.Table, error) { return E1AdaptivePhyThroughput() },
 		},
 		{
 			ID: "E2", Title: "VTAOC mode occupancy over a fading trace", Analytic: true,
-			Run: func(Scale) (*report.Table, error) { return E2ModeOccupancy(15, 200_000) },
+			Run: func(context.Context, Scale) (*report.Table, error) { return E2ModeOccupancy(15, 200_000) },
 		},
 		{
 			ID: "E3", Title: "forward-link admission optimality vs exhaustive optimum", Analytic: true,
-			Run: func(s Scale) (*report.Table, error) { return E3ForwardAdmission(scaleInstances(s)) },
+			Run: func(_ context.Context, s Scale) (*report.Table, error) { return E3ForwardAdmission(scaleInstances(s)) },
 		},
 		{
 			ID: "E4", Title: "reverse-link admission with SCRM neighbour protection", Analytic: true,
-			Run: func(s Scale) (*report.Table, error) { return E4ReverseAdmission(scaleInstances(s)) },
+			Run: func(_ context.Context, s Scale) (*report.Table, error) { return E4ReverseAdmission(scaleInstances(s)) },
 		},
 		{
 			ID: "E5", Title: "average burst delay vs offered load",
-			Run: func(s Scale) (*report.Table, error) { return E5DelayVsLoad(s) },
+			Run: func(ctx context.Context, s Scale) (*report.Table, error) { return E5DelayVsLoad(ctx, s) },
 		},
 		{
 			ID: "E6", Title: "data user capacity at a delay target",
-			Run: func(s Scale) (*report.Table, error) { return E6UserCapacity(s, 2) },
+			Run: func(ctx context.Context, s Scale) (*report.Table, error) { return E6UserCapacity(ctx, s, 2) },
 		},
 		{
 			ID: "E7", Title: "coverage vs shadowing severity",
-			Run: func(s Scale) (*report.Table, error) { return E7Coverage(s) },
+			Run: func(ctx context.Context, s Scale) (*report.Table, error) { return E7Coverage(ctx, s) },
 		},
 		{
 			ID: "E8", Title: "joint design ablation (adaptive PHY x scheduler)",
-			Run: func(s Scale) (*report.Table, error) { return E8JointDesignAblation(s) },
+			Run: func(ctx context.Context, s Scale) (*report.Table, error) { return E8JointDesignAblation(ctx, s) },
 		},
 		{
 			ID: "E9", Title: "objective J1 vs J2 trade-off",
-			Run: func(s Scale) (*report.Table, error) { return E9ObjectiveTradeoff(s) },
+			Run: func(ctx context.Context, s Scale) (*report.Table, error) { return E9ObjectiveTradeoff(ctx, s) },
 		},
 		{
 			ID: "E10", Title: "MAC state set-up penalty effect",
-			Run: func(s Scale) (*report.Table, error) { return E10MacStates(s) },
+			Run: func(ctx context.Context, s Scale) (*report.Table, error) { return E10MacStates(ctx, s) },
 		},
 		{
 			ID: "E11", Title: "transient warm-up and convergence (frame-level telemetry)",
-			Run: func(s Scale) (*report.Table, error) { return E11WarmupConvergence(s) },
+			Run: func(ctx context.Context, s Scale) (*report.Table, error) { return E11WarmupConvergence(ctx, s) },
 		},
 		{
 			ID: "E12", Title: "offered-load step response (mid-run flash crowd)",
-			Run: func(s Scale) (*report.Table, error) { return E12LoadStepResponse(s) },
+			Run: func(ctx context.Context, s Scale) (*report.Table, error) { return E12LoadStepResponse(ctx, s) },
 		},
 	}
 }
@@ -107,17 +110,17 @@ func ByID(id string) (Experiment, bool) {
 // bounded by GOMAXPROCS — and returns the tables in registry order. Because
 // every generator carries its own deterministic seeds, the output is
 // identical to running the suite sequentially.
-func All(s Scale) ([]*report.Table, error) {
-	return RunExperiments(Registry(), s, 0)
+func All(ctx context.Context, s Scale) ([]*report.Table, error) {
+	return RunExperiments(ctx, Registry(), s, 0)
 }
 
 // RunExperiments runs the given experiments with at most parallel of them in
 // flight at once (<= 0 means GOMAXPROCS) and returns their tables in input
 // order. The first failure (in input order) is reported after all in-flight
 // work drains.
-func RunExperiments(defs []Experiment, s Scale, parallel int) ([]*report.Table, error) {
+func RunExperiments(ctx context.Context, defs []Experiment, s Scale, parallel int) ([]*report.Table, error) {
 	out := make([]*report.Table, 0, len(defs))
-	err := StreamExperiments(defs, s, parallel, func(_ int, tbl *report.Table) error {
+	err := StreamExperiments(ctx, defs, s, parallel, func(_ int, tbl *report.Table) error {
 		out = append(out, tbl)
 		return nil
 	})
@@ -135,12 +138,18 @@ func RunExperiments(defs []Experiment, s Scale, parallel int) ([]*report.Table, 
 // experiment dying should not discard half an hour of earlier tables. The
 // first error in input order is returned after the in-flight experiments
 // drain; emit is called for every experiment preceding the failure.
-func StreamExperiments(defs []Experiment, s Scale, parallel int, emit func(i int, tbl *report.Table) error) error {
+func StreamExperiments(ctx context.Context, defs []Experiment, s Scale, parallel int, emit func(i int, tbl *report.Table) error) error {
 	tables := make([]*report.Table, len(defs))
 	return stream.Ordered(len(defs), parallel,
 		func(i int) error {
-			tbl, err := defs[i].Run(s)
+			if err := ctx.Err(); err != nil {
+				return err // cancelled before this experiment started
+			}
+			tbl, err := defs[i].Run(ctx, s)
 			if err != nil {
+				if ctx.Err() != nil {
+					return err // the cancellation, not an experiment failure
+				}
 				return fmt.Errorf("experiment %s failed: %w", defs[i].ID, err)
 			}
 			tables[i] = tbl

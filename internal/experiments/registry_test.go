@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strconv"
 	"strings"
@@ -60,16 +61,16 @@ func TestByID(t *testing.T) {
 // has already been emitted, and nothing at or after it is.
 func TestStreamExperimentsEmitsPrefixBeforeFailure(t *testing.T) {
 	ok := func(id string) Experiment {
-		return Experiment{ID: id, Title: id, Run: func(Scale) (*report.Table, error) {
+		return Experiment{ID: id, Title: id, Run: func(context.Context, Scale) (*report.Table, error) {
 			return report.NewTable(id, "col"), nil
 		}}
 	}
-	boom := Experiment{ID: "EX", Title: "fails", Run: func(Scale) (*report.Table, error) {
+	boom := Experiment{ID: "EX", Title: "fails", Run: func(context.Context, Scale) (*report.Table, error) {
 		return nil, errors.New("boom")
 	}}
 	defs := []Experiment{ok("A"), ok("B"), boom, ok("C")}
 	var emitted []string
-	err := StreamExperiments(defs, Quick, 4, func(i int, tbl *report.Table) error {
+	err := StreamExperiments(context.Background(), defs, Quick, 4, func(i int, tbl *report.Table) error {
 		emitted = append(emitted, defs[i].ID)
 		return nil
 	})
@@ -81,7 +82,7 @@ func TestStreamExperimentsEmitsPrefixBeforeFailure(t *testing.T) {
 	}
 	// An emit error also stops the stream, keeping the earlier emissions.
 	emitted = nil
-	err = StreamExperiments([]Experiment{ok("A"), ok("B")}, Quick, 1, func(i int, _ *report.Table) error {
+	err = StreamExperiments(context.Background(), []Experiment{ok("A"), ok("B")}, Quick, 1, func(i int, _ *report.Table) error {
 		emitted = append(emitted, defs[i].ID)
 		return errors.New("sink full")
 	})
@@ -101,11 +102,11 @@ func TestAllParallelMatchesSequential(t *testing.T) {
 	small := tinyScale
 	small.LoadPoints = []int{3}
 
-	sequential, err := RunExperiments(Registry(), small, 1)
+	sequential, err := RunExperiments(context.Background(), Registry(), small, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := All(small)
+	parallel, err := All(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}

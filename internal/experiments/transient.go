@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"jabasd/internal/report"
@@ -65,7 +66,7 @@ func transientReps(s Scale) int {
 // in-memory sink, and the transient experiments are already parallelised
 // across each other by the registry runner. reps must be >= 1
 // (transientReps).
-func runTransient(cfg sim.Config, reps int, windowSec float64) ([]windowAcc, error) {
+func runTransient(ctx context.Context, cfg sim.Config, reps int, windowSec float64) ([]windowAcc, error) {
 	acc := make([]windowAcc, transientWindows)
 	for i := 0; i < reps; i++ {
 		c := cfg
@@ -73,7 +74,7 @@ func runTransient(cfg sim.Config, reps int, windowSec float64) ([]windowAcc, err
 		mem := &trace.Memory{}
 		c.Trace = mem
 		c.TraceEvery = 1
-		if _, err := sim.Run(c); err != nil {
+		if _, err := sim.Run(ctx, c); err != nil {
 			return nil, fmt.Errorf("transient replication %d: %w", i, err)
 		}
 		accumulateWindows(acc, mem.Records, windowSec)
@@ -109,13 +110,13 @@ func addTransientRow(t *report.Table, a windowAcc, tStart, windowSec float64, ce
 // early windows show the fill-in transient (light queues, generous grants),
 // the later ones the congested steady state — the picture that justifies
 // discarding a warm-up period in every steady-state experiment.
-func E11WarmupConvergence(s Scale) (*report.Table, error) {
+func E11WarmupConvergence(ctx context.Context, s Scale) (*report.Table, error) {
 	cfg := baseConfig(s)
 	cfg.WarmupTime = 0
 	cfg.DataUsersPerCell = 14
 	windowSec := cfg.SimTime / transientWindows
 	reps := transientReps(s)
-	acc, err := runTransient(cfg, reps, windowSec)
+	acc, err := runTransient(ctx, cfg, reps, windowSec)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +137,7 @@ func E11WarmupConvergence(s Scale) (*report.Table, error) {
 // offered rate jumps at the step, the admitted rate follows until the power
 // budget saturates, and the queues and delays grow toward the new, heavier
 // steady state.
-func E12LoadStepResponse(s Scale) (*report.Table, error) {
+func E12LoadStepResponse(ctx context.Context, s Scale) (*report.Table, error) {
 	cfg := baseConfig(s)
 	cfg.WarmupTime = 0
 	cfg.DataUsersPerCell = 14
@@ -145,7 +146,7 @@ func E12LoadStepResponse(s Scale) (*report.Table, error) {
 	cfg.LoadStep = &sim.LoadStep{AtSec: stepAt, ReadingTimeSec: 1}
 	windowSec := cfg.SimTime / transientWindows
 	reps := transientReps(s)
-	acc, err := runTransient(cfg, reps, windowSec)
+	acc, err := runTransient(ctx, cfg, reps, windowSec)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ func TestE11WarmupConvergence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("dynamic simulation experiment skipped in -short mode")
 	}
-	tbl, err := E11WarmupConvergence(tinyScale)
+	tbl, err := E11WarmupConvergence(context.Background(), tinyScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestE12LoadStepResponse(t *testing.T) {
 	if testing.Short() {
 		t.Skip("dynamic simulation experiment skipped in -short mode")
 	}
-	tbl, err := E12LoadStepResponse(tinyScale)
+	tbl, err := E12LoadStepResponse(context.Background(), tinyScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestE11ZeroReplicationsScale(t *testing.T) {
 	// the runner and the rate normalisation — not divide by zero.
 	s := tinyScale
 	s.Replications = 0
-	tbl, err := E11WarmupConvergence(s)
+	tbl, err := E11WarmupConvergence(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,308 @@
+// Package jobspec is the shared, JSON-first description of the work the
+// tools run: a single simulation (RunSpec), a parameter sweep (SweepSpec)
+// or the experiment suite (ExperimentsSpec). The four commands (jabasim,
+// jabasweep, jabaexp, jabaserve) all translate their inputs — CLI flags or
+// HTTP request bodies — into these specs and resolve them through the same
+// code, so a scenario that runs one way from the shell runs exactly the
+// same way through the server.
+//
+// Every spec resolves with full conflict detection (a named grid excludes
+// ad-hoc axes, a preset excludes an inline config, an override excludes an
+// axis sweeping the same parameter) and full validation via
+// sim.Config.Validate, which reports every violation at once.
+package jobspec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"jabasd/internal/experiments"
+	"jabasd/internal/scenario"
+	"jabasd/internal/sim"
+	"jabasd/internal/sweep"
+)
+
+// Scenario selects the base configuration: a named preset or an inline
+// sim.Config JSON object — at most one of the two. Neither set means the
+// baseline preset.
+type Scenario struct {
+	// Preset is a named scenario (see scenario.Names).
+	Preset string `json:"preset,omitempty"`
+	// Config is an inline sim.Config JSON object; unspecified fields keep
+	// their defaults, exactly as a -config file does.
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+// Resolve returns the selected base configuration (not yet validated —
+// overrides may still apply on top; RunSpec.Resolve validates the final
+// result).
+func (s Scenario) Resolve() (sim.Config, error) {
+	if s.Preset != "" && len(s.Config) > 0 {
+		return sim.Config{}, errors.New("jobspec: preset and config are exclusive; drop one")
+	}
+	if len(s.Config) > 0 {
+		cfg := sim.DefaultConfig()
+		if err := json.Unmarshal(s.Config, &cfg); err != nil {
+			return sim.Config{}, fmt.Errorf("jobspec: decode config: %w", err)
+		}
+		return cfg, nil
+	}
+	return scenario.Lookup(s.Preset)
+}
+
+// Overrides layers the flag-style adjustments every tool offers on top of a
+// resolved base configuration. Zero values mean "keep the base's"; the
+// pointer fields distinguish "unset" from a legitimate zero.
+type Overrides struct {
+	Scheduler     string   `json:"scheduler,omitempty"`
+	Direction     string   `json:"direction,omitempty"`
+	DataUsers     *int     `json:"data_users,omitempty"`
+	SimTime       float64  `json:"sim_time,omitempty"`
+	WarmupTime    *float64 `json:"warmup_time,omitempty"`
+	Seed          uint64   `json:"seed,omitempty"`
+	FrameMode     string   `json:"frame_mode,omitempty"`
+	FrameParallel *int     `json:"frame_parallel,omitempty"`
+	ExactPHY      bool     `json:"exact_phy,omitempty"`
+}
+
+// Apply layers the set overrides onto cfg. Enum-valued overrides are
+// checked here (all at once); numeric ranges are left to cfg.Validate.
+func (o Overrides) Apply(cfg *sim.Config) error {
+	var errs []error
+	if o.Scheduler != "" {
+		kind := sim.SchedulerKind(o.Scheduler)
+		if _, err := sim.NewScheduler(kind, 1); err != nil {
+			errs = append(errs, err)
+		} else {
+			cfg.Scheduler = kind
+		}
+	}
+	switch o.Direction {
+	case "":
+	case "forward":
+		cfg.Direction = sim.Forward
+	case "reverse":
+		cfg.Direction = sim.Reverse
+	default:
+		errs = append(errs, fmt.Errorf("jobspec: unknown direction %q (want forward or reverse)", o.Direction))
+	}
+	if o.DataUsers != nil {
+		cfg.DataUsersPerCell = *o.DataUsers
+	}
+	if o.SimTime != 0 {
+		cfg.SimTime = o.SimTime
+	}
+	if o.WarmupTime != nil {
+		cfg.WarmupTime = *o.WarmupTime
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	switch sim.FrameMode(o.FrameMode) {
+	case "", sim.FrameSequential, sim.FrameSnapshot:
+		if o.FrameMode != "" {
+			cfg.FrameMode = sim.FrameMode(o.FrameMode)
+		}
+	default:
+		errs = append(errs, fmt.Errorf("jobspec: unknown frame mode %q (want %s or %s)",
+			o.FrameMode, sim.FrameSequential, sim.FrameSnapshot))
+	}
+	if o.FrameParallel != nil {
+		cfg.FrameParallel = *o.FrameParallel
+	}
+	if o.ExactPHY {
+		cfg.ExactPHY = true
+	}
+	return errors.Join(errs...)
+}
+
+// axisConflicts maps each override to the sweep axis that sets the same
+// parameter; sweeping an axis and overriding it at once would silently
+// mislabel every row, so SweepSpec.Resolve rejects the combination.
+func (o Overrides) axisConflicts() map[string]bool {
+	c := map[string]bool{}
+	if o.Scheduler != "" {
+		c["scheduler"] = true
+	}
+	if o.Direction != "" {
+		c["direction"] = true
+	}
+	if o.DataUsers != nil {
+		c["datausers"] = true
+	}
+	if o.FrameMode != "" {
+		c["framemode"] = true
+	}
+	return c
+}
+
+// RunSpec describes one simulation: a base scenario, overrides and a
+// replication count.
+type RunSpec struct {
+	Scenario
+	Overrides Overrides `json:"overrides"`
+	// Reps is the number of independent replications (0 and 1 both mean a
+	// single run).
+	Reps int `json:"reps,omitempty"`
+}
+
+// Resolve produces the validated configuration and replication count.
+func (s RunSpec) Resolve() (sim.Config, int, error) {
+	cfg, err := s.Scenario.Resolve()
+	if err != nil {
+		return sim.Config{}, 0, err
+	}
+	if err := s.Overrides.Apply(&cfg); err != nil {
+		return sim.Config{}, 0, err
+	}
+	reps := s.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	if err := cfg.Validate(); err != nil {
+		return sim.Config{}, 0, err
+	}
+	return cfg, reps, nil
+}
+
+// SweepSpec describes a parameter sweep: a named grid, or a base scenario
+// plus ad-hoc axes.
+type SweepSpec struct {
+	// Grid is a built-in named grid (see sweep.Grids). It carries its own
+	// preset and axes, so it excludes Preset, Config and Axes.
+	Grid string `json:"grid,omitempty"`
+	Scenario
+	// Axes are "name=v1,v2,..." axis specifications (see sweep.Axes).
+	Axes []string `json:"axes,omitempty"`
+	// Reps is the number of independent replications per grid point.
+	Reps int `json:"reps,omitempty"`
+	// Parallel bounds concurrent (point × replication) work items
+	// (0 = GOMAXPROCS).
+	Parallel int `json:"parallel,omitempty"`
+	// Overrides apply to every grid point, after the axis values. An
+	// override of a swept parameter is a conflict. Overrides.Seed becomes
+	// the sweep's base seed.
+	Overrides Overrides `json:"overrides"`
+}
+
+// Resolve produces the expanded grid and runner options, rejecting
+// grid/scenario/axis/override conflicts.
+func (s SweepSpec) Resolve() (sweep.Grid, sweep.Options, error) {
+	var g sweep.Grid
+	if s.Grid != "" {
+		if s.Preset != "" || len(s.Config) > 0 || len(s.Axes) > 0 {
+			return sweep.Grid{}, sweep.Options{},
+				errors.New("jobspec: a named grid carries its own preset and axes; drop preset/config/axes")
+		}
+		var err error
+		g, err = sweep.LookupGrid(s.Grid)
+		if err != nil {
+			return sweep.Grid{}, sweep.Options{}, err
+		}
+	} else {
+		base, err := s.Scenario.Resolve()
+		if err != nil {
+			return sweep.Grid{}, sweep.Options{}, err
+		}
+		g, err = sweep.New(s.Preset, s.Axes)
+		if err != nil {
+			return sweep.Grid{}, sweep.Options{}, err
+		}
+		if len(s.Config) > 0 {
+			g.Base = &base
+		}
+	}
+
+	if conflicts := s.Overrides.axisConflicts(); len(conflicts) > 0 {
+		for _, ax := range g.Axes {
+			if conflicts[ax.Name] {
+				return sweep.Grid{}, sweep.Options{},
+					fmt.Errorf("jobspec: override conflicts with the %s axis; drop one", ax.Name)
+			}
+		}
+	}
+
+	opts := sweep.Options{Reps: s.Reps, Parallel: s.Parallel, BaseSeed: s.Overrides.Seed}
+	// The remaining overrides mutate every point after its axis values are
+	// baked in. Seed is carried by BaseSeed (the sweep derives per-point
+	// seeds from it), so it must not also be forced onto each config.
+	mut := s.Overrides
+	mut.Seed = 0
+	if mut != (Overrides{}) {
+		// Surface enum errors now rather than from inside the runner.
+		probe := sim.DefaultConfig()
+		if err := mut.Apply(&probe); err != nil {
+			return sweep.Grid{}, sweep.Options{}, err
+		}
+		opts.Mutate = func(c *sim.Config) { mut.Apply(c) }
+	}
+	return g, opts, nil
+}
+
+// ExperimentsSpec describes an experiment-suite run.
+type ExperimentsSpec struct {
+	// Only lists experiment ids to run (e.g. ["E1","E5"]); empty means the
+	// whole registry, in suite order.
+	Only []string `json:"only,omitempty"`
+	// Scale is "quick" (default) or "full".
+	Scale string `json:"scale,omitempty"`
+	// Parallel bounds concurrently running experiments (0 = GOMAXPROCS).
+	Parallel int `json:"parallel,omitempty"`
+	// ExactPHY runs the dynamic experiments on the bit-exact reference
+	// physics.
+	ExactPHY bool `json:"exact_phy,omitempty"`
+}
+
+// Resolve selects the experiments and scale.
+func (s ExperimentsSpec) Resolve() ([]experiments.Experiment, experiments.Scale, error) {
+	var scale experiments.Scale
+	switch s.Scale {
+	case "", "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		return nil, experiments.Scale{}, fmt.Errorf("jobspec: unknown scale %q (want quick or full)", s.Scale)
+	}
+	scale.ExactPHY = s.ExactPHY
+
+	defs, err := SelectExperiments(s.Only)
+	if err != nil {
+		return nil, experiments.Scale{}, err
+	}
+	return defs, scale, nil
+}
+
+// SelectExperiments resolves a list of experiment ids against the registry,
+// keeping suite order; ids are case-insensitive and unknown ids are an
+// error, not a silent no-op. An empty list selects the whole registry.
+func SelectExperiments(ids []string) ([]experiments.Experiment, error) {
+	if len(ids) == 0 {
+		return experiments.Registry(), nil
+	}
+	wanted := map[string]bool{}
+	for _, raw := range ids {
+		id := strings.ToUpper(strings.TrimSpace(raw))
+		if id == "" {
+			continue
+		}
+		if _, ok := experiments.ByID(id); !ok {
+			return nil, fmt.Errorf("jobspec: unknown experiment id %q (valid ids: %s)",
+				raw, strings.Join(experiments.IDs(), ", "))
+		}
+		wanted[id] = true
+	}
+	if len(wanted) == 0 {
+		return nil, fmt.Errorf("jobspec: no experiments selected (valid ids: %s)",
+			strings.Join(experiments.IDs(), ", "))
+	}
+	var defs []experiments.Experiment
+	for _, d := range experiments.Registry() {
+		if wanted[d.ID] {
+			defs = append(defs, d)
+		}
+	}
+	return defs, nil
+}

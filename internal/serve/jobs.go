@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"jabasd/internal/experiments"
+	"jabasd/internal/jobspec"
+	"jabasd/internal/report"
+	"jabasd/internal/sim"
+	"jabasd/internal/sweep"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+// The job lifecycle: queued → running → one of the three terminal states.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is the body of POST /v1/jobs: a kind plus exactly the matching
+// spec. The specs are the same jobspec types the CLIs resolve, so a job
+// body is a jabasweep/jabasim/jabaexp invocation in JSON form.
+type JobSpec struct {
+	// Kind is "run", "sweep" or "experiments".
+	Kind        string                   `json:"kind"`
+	Run         *jobspec.RunSpec         `json:"run,omitempty"`
+	Sweep       *jobspec.SweepSpec       `json:"sweep,omitempty"`
+	Experiments *jobspec.ExperimentsSpec `json:"experiments,omitempty"`
+}
+
+// JobStatus is the JSON view of a job returned by the job endpoints.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Kind  string   `json:"kind"`
+	State JobState `json:"state"`
+	Error string   `json:"error,omitempty"`
+	// RowsDone counts emitted progress rows (grid points for a sweep,
+	// completed experiments for a suite); RowsTotal is the expected count.
+	RowsDone  int    `json:"rows_done"`
+	RowsTotal int    `json:"rows_total,omitempty"`
+	Created   string `json:"created,omitempty"`
+	Finished  string `json:"finished,omitempty"`
+}
+
+// row is one unit of streamed job progress, carried in both framings the
+// stream endpoint serves: CSV cells (for a sweep, exactly the jabasweep
+// row) and a self-describing JSON event for NDJSON/SSE.
+type row struct {
+	cells []string
+	event json.RawMessage
+}
+
+// runnable is a job's resolved work, produced at submission time so a bad
+// spec fails the POST with a 400 instead of failing later inside a worker.
+type runnable struct {
+	header []string // CSV header cells, nil when the kind has no row stream
+	total  int      // expected row count
+	run    func(ctx context.Context, j *Job) error
+}
+
+// Job is one queued or running unit of server work.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	work   runnable
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    JobState
+	err      string
+	rows     []row
+	result   json.RawMessage
+	created  time.Time
+	finished time.Time
+	updated  chan struct{} // closed and replaced on every state/row change
+}
+
+// newJob wraps resolved work for the queue.
+func newJob(id string, spec JobSpec, work runnable, ctx context.Context, cancel context.CancelFunc) *Job {
+	return &Job{
+		ID:      id,
+		Spec:    spec,
+		work:    work,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+		created: time.Now(),
+		updated: make(chan struct{}),
+	}
+}
+
+// broadcast wakes every stream follower. Callers hold j.mu.
+func (j *Job) broadcast() {
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// appendRow records one completed progress row and wakes followers.
+func (j *Job) appendRow(r row) {
+	j.mu.Lock()
+	j.rows = append(j.rows, r)
+	j.broadcast()
+	j.mu.Unlock()
+}
+
+// finish records the job's outcome: done with a result, cancelled when the
+// error is the job context's cancellation, failed otherwise.
+func (j *Job) finish(err error, result json.RawMessage) {
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = err.Error()
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	j.finished = time.Now()
+	j.broadcast()
+	j.mu.Unlock()
+}
+
+// status snapshots the job for the JSON views.
+func (j *Job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		Kind:      j.Spec.Kind,
+		State:     j.state,
+		Error:     j.err,
+		RowsDone:  len(j.rows),
+		RowsTotal: j.work.total,
+		Created:   j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+// resolve validates the spec and builds the job's work. The returned
+// runnable closes over the resolved grid/config, so the expensive
+// validation happens exactly once, at submission.
+func (s JobSpec) resolve(defaultParallel int) (runnable, error) {
+	specs := 0
+	for _, set := range []bool{s.Run != nil, s.Sweep != nil, s.Experiments != nil} {
+		if set {
+			specs++
+		}
+	}
+	if specs != 1 {
+		return runnable{}, fmt.Errorf("serve: want exactly one of run/sweep/experiments, got %d", specs)
+	}
+	switch s.Kind {
+	case "run":
+		if s.Run == nil {
+			return runnable{}, errors.New(`serve: kind "run" needs a "run" spec`)
+		}
+		return resolveRun(*s.Run)
+	case "sweep":
+		if s.Sweep == nil {
+			return runnable{}, errors.New(`serve: kind "sweep" needs a "sweep" spec`)
+		}
+		return resolveSweep(*s.Sweep, defaultParallel)
+	case "experiments":
+		if s.Experiments == nil {
+			return runnable{}, errors.New(`serve: kind "experiments" needs an "experiments" spec`)
+		}
+		return resolveExperiments(*s.Experiments, defaultParallel)
+	default:
+		return runnable{}, fmt.Errorf("serve: unknown job kind %q (want run, sweep or experiments)", s.Kind)
+	}
+}
+
+func resolveRun(spec jobspec.RunSpec) (runnable, error) {
+	cfg, reps, err := spec.Resolve()
+	if err != nil {
+		return runnable{}, err
+	}
+	return runnable{
+		run: func(ctx context.Context, j *Job) error {
+			agg, err := sim.RunReplications(ctx, cfg, reps)
+			if err != nil {
+				return err
+			}
+			result, err := json.Marshal(agg)
+			if err != nil {
+				return err
+			}
+			j.finish(nil, result)
+			return nil
+		},
+	}, nil
+}
+
+func resolveSweep(spec jobspec.SweepSpec, defaultParallel int) (runnable, error) {
+	grid, opts, err := spec.Resolve()
+	if err != nil {
+		return runnable{}, err
+	}
+	points, err := grid.Points()
+	if err != nil {
+		return runnable{}, err
+	}
+	if opts.Parallel == 0 {
+		// Concurrent jobs share the CPUs; an unbounded per-job fan-out
+		// would oversubscribe them (the results are parallel-independent,
+		// so this only shapes latency, never output).
+		opts.Parallel = defaultParallel
+	}
+	tbl := sweep.NewCurveTable(grid)
+	header := append([]string(nil), tbl.Columns...)
+	return runnable{
+		header: header,
+		total:  len(points),
+		run: func(ctx context.Context, j *Job) error {
+			err := sweep.Stream(ctx, grid, opts, func(r sweep.Result) error {
+				cells := sweep.AppendCurveRow(tbl, r)
+				event, err := json.Marshal(map[string]any{
+					"index": r.Index,
+					"label": r.Label(),
+					"row":   rowMap(header, cells),
+				})
+				if err != nil {
+					return err
+				}
+				j.appendRow(row{cells: append([]string(nil), cells...), event: event})
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			var buf bytes.Buffer
+			if err := tbl.WriteJSON(&buf); err != nil {
+				return err
+			}
+			j.finish(nil, buf.Bytes())
+			return nil
+		},
+	}, nil
+}
+
+func resolveExperiments(spec jobspec.ExperimentsSpec, defaultParallel int) (runnable, error) {
+	defs, scale, err := spec.Resolve()
+	if err != nil {
+		return runnable{}, err
+	}
+	parallel := spec.Parallel
+	if parallel == 0 {
+		parallel = defaultParallel
+	}
+	return runnable{
+		header: []string{"experiment", "title"},
+		total:  len(defs),
+		run: func(ctx context.Context, j *Job) error {
+			tables := make([]json.RawMessage, 0, len(defs))
+			err := experiments.StreamExperiments(ctx, defs, scale, parallel, func(i int, tbl *report.Table) error {
+				var buf bytes.Buffer
+				if err := tbl.WriteJSON(&buf); err != nil {
+					return err
+				}
+				tables = append(tables, json.RawMessage(buf.String()))
+				event, err := json.Marshal(map[string]any{
+					"experiment": defs[i].ID,
+					"title":      defs[i].Title,
+					"table":      json.RawMessage(buf.String()),
+				})
+				if err != nil {
+					return err
+				}
+				j.appendRow(row{cells: []string{defs[i].ID, defs[i].Title}, event: event})
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			result, err := json.Marshal(tables)
+			if err != nil {
+				return err
+			}
+			j.finish(nil, result)
+			return nil
+		},
+	}, nil
+}
+
+// rowMap zips header cells with row cells for the NDJSON/SSE framing.
+func rowMap(header, cells []string) map[string]string {
+	m := make(map[string]string, len(header))
+	for i, h := range header {
+		if i < len(cells) {
+			m[h] = cells[i]
+		}
+	}
+	return m
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+
+	"jabasd/internal/core"
+	"jabasd/internal/mac"
+	"jabasd/internal/measurement"
+	"jabasd/internal/sim"
+)
+
+// OracleRequest is the body of POST /v1/oracle: one cell's measured frame
+// state, exactly the scheduling sub-layer's input (a core.Problem in JSON
+// form) plus the scheduler selection. This is the paper's per-frame ILP as
+// a service — a base station controller can submit its live measurements
+// and receive the grants JABA-SD would issue, with no simulation involved.
+type OracleRequest struct {
+	// Scheduler is a sim scheduler kind ("jaba-sd", "jaba-sd-greedy",
+	// "fcfs", "equal-share", "random"); empty means jaba-sd.
+	Scheduler string `json:"scheduler,omitempty"`
+	// Seed seeds the "random" scheduler; ignored by the others.
+	Seed uint64 `json:"seed,omitempty"`
+	// Requests are the cell's pending burst requests (core.Request fields).
+	Requests []core.Request `json:"requests"`
+	// Region is the admissible region Coeff·m <= Bound from the measurement
+	// sub-layer.
+	Region measurement.Region `json:"region"`
+	// MaxRatio is M, the global spreading-gain ratio cap.
+	MaxRatio int `json:"max_ratio"`
+	// Objective selects and parameterises J1/J2.
+	Objective core.Objective `json:"objective"`
+	// MAC, when present, recomputes each request's SetupDelay from its
+	// waiting time (equation 23) before scheduling.
+	MAC *mac.Config `json:"mac,omitempty"`
+}
+
+// OracleResponse is the scheduler's assignment for the submitted frame.
+type OracleResponse struct {
+	// Ratios is m_j per request, 0 = rejected this frame.
+	Ratios []int `json:"ratios"`
+	// Objective is the achieved objective value.
+	Objective float64 `json:"objective"`
+	// Scheduler names the algorithm that produced the grants.
+	Scheduler string `json:"scheduler"`
+	// Served counts non-zero grants; TotalRatio is Σ m_j.
+	Served     int `json:"served"`
+	TotalRatio int `json:"total_ratio"`
+}
+
+// oraclePool holds resident warm JABA-SD instances, one per concurrent
+// oracle call. Each instance owns a warm ilp.Solver and scratch buffers
+// (steady-state Schedule is a single allocation), so serving a frame costs
+// a solve, not a solver construction — the reason the oracle lives in a
+// long-running server at all. Instances are produced from one prototype via
+// core.Cloner, the same per-worker cloning contract the snapshot frame mode
+// uses.
+type oraclePool struct {
+	warm chan *core.JABASD
+}
+
+func newOraclePool(size int) *oraclePool {
+	p := &oraclePool{warm: make(chan *core.JABASD, size)}
+	proto := core.NewJABASD()
+	for i := 0; i < size; i++ {
+		p.warm <- proto.Clone().(*core.JABASD)
+	}
+	return p
+}
+
+// schedule answers one oracle request. JABA-SD requests borrow a warm
+// instance from the pool (blocking until one is free, which bounds
+// concurrent solves); the baseline schedulers are stateless and built per
+// request.
+func (p *oraclePool) schedule(req OracleRequest) (core.Assignment, error) {
+	problem := core.Problem{
+		Requests:  req.Requests,
+		Region:    req.Region,
+		MaxRatio:  req.MaxRatio,
+		Objective: req.Objective,
+		MAC:       req.MAC,
+	}
+	if err := problem.Validate(); err != nil {
+		return core.Assignment{}, err
+	}
+
+	kind := sim.SchedulerKind(req.Scheduler)
+	if kind == "" || kind == sim.SchedulerJABASD {
+		s := <-p.warm
+		defer func() { p.warm <- s }()
+		return s.Schedule(problem)
+	}
+	s, err := sim.NewScheduler(kind, req.Seed)
+	if err != nil {
+		return core.Assignment{}, fmt.Errorf("serve: %w", err)
+	}
+	return s.Schedule(problem)
+}

@@ -53,6 +53,26 @@ func (d Direction) String() string {
 	return "forward"
 }
 
+// MarshalJSON encodes the direction by name ("forward"/"reverse") so
+// configuration files and API payloads stay readable.
+func (d Direction) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + d.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the names and, for configuration files written
+// before the string encoding, the raw ordinals 0 and 1.
+func (d *Direction) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"forward"`, `0`:
+		*d = Forward
+	case `"reverse"`, `1`:
+		*d = Reverse
+	default:
+		return fmt.Errorf("sim: unknown direction %s (want \"forward\" or \"reverse\")", data)
+	}
+	return nil
+}
+
 // FrameMode selects how the per-frame burst admission fans out over cells.
 type FrameMode string
 
@@ -269,69 +289,76 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks the configuration for obvious inconsistencies.
+// Validate checks the configuration for inconsistencies. Every violation is
+// reported, joined into one error (errors.Join), so a hand-written scenario
+// file or API payload with several mistakes surfaces them all in one round
+// trip instead of one per submission.
 func (c Config) Validate() error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("sim: "+format, args...))
+	}
 	if c.SimTime <= 0 || c.FrameLength <= 0 {
-		return errors.New("sim: SimTime and FrameLength must be positive")
+		fail("SimTime and FrameLength must be positive")
 	}
 	if c.WarmupTime < 0 || c.WarmupTime >= c.SimTime {
-		return errors.New("sim: WarmupTime must be in [0, SimTime)")
+		fail("WarmupTime must be in [0, SimTime)")
 	}
 	if c.Rings < 0 || c.CellRadius <= 0 {
-		return errors.New("sim: invalid topology")
+		fail("invalid topology")
 	}
 	if c.DataUsersPerCell < 0 || c.VoiceUsersPerCell < 0 {
-		return errors.New("sim: negative user counts")
+		fail("negative user counts")
 	}
 	if c.MaxCellPowerW <= 0 || c.NoiseW <= 0 {
-		return errors.New("sim: power budget and noise must be positive")
+		fail("power budget and noise must be positive")
 	}
 	if c.CommonOverheadFrac < 0 || c.CommonOverheadFrac >= 1 {
-		return errors.New("sim: CommonOverheadFrac must be in [0,1)")
+		fail("CommonOverheadFrac must be in [0,1)")
 	}
 	if c.ReverseRiseLimit <= 1 {
-		return errors.New("sim: ReverseRiseLimit must exceed 1")
+		fail("ReverseRiseLimit must exceed 1")
 	}
 	if err := c.VTAOC.Validate(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if err := c.RatePlan.Validate(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if err := c.MAC.Validate(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if err := c.Objective.Validate(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if _, err := NewScheduler(c.Scheduler, c.Seed); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	switch c.FrameMode.normalize() {
 	case FrameSequential, FrameSnapshot:
 	default:
-		return fmt.Errorf("sim: unknown frame mode %q (want %q or %q)",
+		fail("unknown frame mode %q (want %q or %q)",
 			c.FrameMode, FrameSequential, FrameSnapshot)
 	}
 	if c.FrameParallel < 0 {
-		return errors.New("sim: FrameParallel must be >= 0")
+		fail("FrameParallel must be >= 0")
 	}
 	if c.TraceEvery < 0 {
-		return errors.New("sim: TraceEvery must be >= 0")
+		fail("TraceEvery must be >= 0")
 	}
 	if ls := c.LoadStep; ls != nil {
 		if ls.AtSec < 0 || ls.AtSec >= c.SimTime {
-			return errors.New("sim: LoadStep.AtSec must be in [0, SimTime)")
+			fail("LoadStep.AtSec must be in [0, SimTime)")
 		}
 		if ls.ReadingTimeSec <= 0 {
-			return errors.New("sim: LoadStep.ReadingTimeSec must be positive")
+			fail("LoadStep.ReadingTimeSec must be positive")
 		}
 	}
 	if c.UseFixedRatePHY && (c.FixedRateMode < 1 || c.FixedRateMode > c.VTAOC.NumModes) {
-		return errors.New("sim: FixedRateMode out of range")
+		fail("FixedRateMode out of range")
 	}
 	if c.RegionEpsilon < 0 {
-		return errors.New("sim: RegionEpsilon must be >= 0")
+		fail("RegionEpsilon must be >= 0")
 	}
-	return nil
+	return errors.Join(errs...)
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -363,11 +364,17 @@ func (e *Engine) populate() {
 	}
 }
 
-// Run executes the replication and returns its metrics.
-func (e *Engine) Run() (*Metrics, error) {
+// Run executes the replication and returns its metrics. Cancelling the
+// context stops the frame loop promptly (the context is checked once per
+// admission frame, tens of microseconds of work) and returns the context's
+// error; the partially accumulated metrics are discarded.
+func (e *Engine) Run(ctx context.Context) (*Metrics, error) {
 	defer e.Close()
 	frames := int(math.Ceil(e.cfg.SimTime / e.cfg.FrameLength))
 	for f := 0; f < frames; f++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		e.now = float64(f) * e.cfg.FrameLength
 		e.step()
 	}
@@ -1091,13 +1098,14 @@ func (e *Engine) userByID(id int) *dataUser {
 	return nil
 }
 
-// Run executes a single replication of the scenario described by cfg.
-func Run(cfg Config) (*Metrics, error) {
+// Run executes a single replication of the scenario described by cfg. The
+// context cancels the run mid-flight (checked every frame).
+func Run(ctx context.Context, cfg Config) (*Metrics, error) {
 	e, err := NewEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run()
+	return e.Run(ctx)
 }
 
 // String describes the engine.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -111,7 +112,7 @@ func TestRunZeroDataUsers(t *testing.T) {
 	cfg.WarmupTime = 0.5
 	cfg.DataUsersPerCell = 0
 	cfg.VoiceUsersPerCell = 2
-	m, err := Run(cfg)
+	m, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"jabasd/internal/stream"
@@ -9,15 +10,17 @@ import (
 // RunReplications runs n independent replications of the scenario in
 // parallel (bounded by GOMAXPROCS) and merges their metrics. Replication i
 // uses seed cfg.Seed + i, so results are reproducible for a given base seed
-// regardless of scheduling.
-func RunReplications(cfg Config, n int) (*Aggregate, error) {
-	return runReplications(cfg, n, Run)
+// regardless of scheduling. Cancelling the context stops every in-flight
+// replication promptly (each engine checks it once per frame) and returns
+// the context's error.
+func RunReplications(ctx context.Context, cfg Config, n int) (*Aggregate, error) {
+	return runReplications(ctx, cfg, n, Run)
 }
 
 // runReplications is RunReplications with the per-replication runner
 // injectable, so tests can exercise the failure path without needing a
 // configuration that validates but crashes mid-simulation.
-func runReplications(cfg Config, n int, runOne func(Config) (*Metrics, error)) (*Aggregate, error) {
+func runReplications(ctx context.Context, cfg Config, n int, runOne func(context.Context, Config) (*Metrics, error)) (*Aggregate, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("sim: need at least one replication, got %d", n)
 	}
@@ -29,6 +32,11 @@ func runReplications(cfg Config, n int, runOne func(Config) (*Metrics, error)) (
 	agg := &Aggregate{}
 	err := stream.Ordered(n, 0,
 		func(i int) error {
+			// A replication that has not started yet fails fast on a
+			// cancelled context instead of simulating a doomed run.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			repCfg := cfg
 			repCfg.Seed = cfg.Seed + uint64(i)
 			repCfg.FrameParallel = ResolveFrameParallel(cfg, n)
@@ -38,8 +46,11 @@ func runReplications(cfg Config, n int, runOne func(Config) (*Metrics, error)) (
 				// rest run untraced.
 				repCfg.Trace = nil
 			}
-			m, err := runOne(repCfg)
+			m, err := runOne(ctx, repCfg)
 			if err != nil {
+				if ctx.Err() != nil {
+					return err // the cancellation, not a simulation failure
+				}
 				return fmt.Errorf("sim: replication %d failed: %w", i, err)
 			}
 			ms[i] = m
@@ -73,13 +84,16 @@ func ResolveFrameParallel(cfg Config, fanout int) int {
 // CompareSchedulers runs the same scenario (same seeds, so common random
 // numbers) once per scheduler kind and returns the aggregates keyed by the
 // scheduler kind, preserving the requested order.
-func CompareSchedulers(cfg Config, kinds []SchedulerKind, reps int) (map[SchedulerKind]*Aggregate, error) {
+func CompareSchedulers(ctx context.Context, cfg Config, kinds []SchedulerKind, reps int) (map[SchedulerKind]*Aggregate, error) {
 	out := make(map[SchedulerKind]*Aggregate, len(kinds))
 	for _, k := range kinds {
 		c := cfg
 		c.Scheduler = k
-		agg, err := RunReplications(c, reps)
+		agg, err := RunReplications(ctx, c, reps)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
 			return nil, fmt.Errorf("sim: scheduler %s: %w", k, err)
 		}
 		out[k] = agg

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"strings"
@@ -18,13 +19,13 @@ func TestRunReplicationsSameAggregateAcrossGOMAXPROCS(t *testing.T) {
 	cfg.SimTime = 3
 
 	old := runtime.GOMAXPROCS(1)
-	serial, serialErr := RunReplications(cfg, 3)
+	serial, serialErr := RunReplications(context.Background(), cfg, 3)
 	runtime.GOMAXPROCS(old)
 	if serialErr != nil {
 		t.Fatal(serialErr)
 	}
 
-	parallel, err := RunReplications(cfg, 3)
+	parallel, err := RunReplications(context.Background(), cfg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestRunReplicationsFailurePath(t *testing.T) {
 
 	var mu sync.Mutex
 	var seeds []uint64
-	failing := func(c Config) (*Metrics, error) {
+	failing := func(_ context.Context, c Config) (*Metrics, error) {
 		mu.Lock()
 		seeds = append(seeds, c.Seed)
 		mu.Unlock()
@@ -71,7 +72,7 @@ func TestRunReplicationsFailurePath(t *testing.T) {
 		return m, nil
 	}
 
-	agg, err := runReplications(cfg, 3, failing)
+	agg, err := runReplications(context.Background(), cfg, 3, failing)
 	if agg != nil {
 		t.Error("failed run should not return an aggregate")
 	}
@@ -94,11 +95,11 @@ func TestRunReplicationsFailurePath(t *testing.T) {
 func TestRunReplicationsStubAggregation(t *testing.T) {
 	cfg := quickConfig()
 	var calls atomic.Int32
-	stub := func(c Config) (*Metrics, error) {
+	stub := func(_ context.Context, c Config) (*Metrics, error) {
 		calls.Add(1)
 		return &Metrics{Scheduler: "stub", Direction: "forward", BitsDelivered: 1}, nil
 	}
-	agg, err := runReplications(cfg, 4, stub)
+	agg, err := runReplications(context.Background(), cfg, 4, stub)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -73,7 +74,7 @@ func TestNewSchedulerKinds(t *testing.T) {
 
 func TestRunForwardProducesTraffic(t *testing.T) {
 	cfg := quickConfig()
-	m, err := Run(cfg)
+	m, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestRunForwardProducesTraffic(t *testing.T) {
 func TestRunReverseLink(t *testing.T) {
 	cfg := quickConfig()
 	cfg.Direction = Reverse
-	m, err := Run(cfg)
+	m, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +132,11 @@ func TestRunReverseLink(t *testing.T) {
 func TestRunDeterministicForSeed(t *testing.T) {
 	cfg := quickConfig()
 	cfg.SimTime = 4
-	a, err := Run(cfg)
+	a, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg)
+	b, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,9 +155,9 @@ func TestRunDeterministicForSeed(t *testing.T) {
 func TestRunDifferentSeedsDiffer(t *testing.T) {
 	cfg := quickConfig()
 	cfg.SimTime = 4
-	a, _ := Run(cfg)
+	a, _ := Run(context.Background(), cfg)
 	cfg.Seed = 999
-	b, _ := Run(cfg)
+	b, _ := Run(context.Background(), cfg)
 	if a.BitsDelivered == b.BitsDelivered && a.BurstsGenerated == b.BurstsGenerated &&
 		a.MeanBurstDelay() == b.MeanBurstDelay() {
 		t.Error("different seeds produced identical results; randomisation suspect")
@@ -168,7 +169,7 @@ func TestRunAllSchedulers(t *testing.T) {
 		cfg := quickConfig()
 		cfg.SimTime = 5
 		cfg.Scheduler = k
-		m, err := Run(cfg)
+		m, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", k, err)
 		}
@@ -183,7 +184,7 @@ func TestRunFixedRatePHYAblation(t *testing.T) {
 	cfg.SimTime = 5
 	cfg.UseFixedRatePHY = true
 	cfg.FixedRateMode = 2
-	m, err := Run(cfg)
+	m, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestRunFixedRatePHYAblation(t *testing.T) {
 func TestInvalidConfigRejectedByRun(t *testing.T) {
 	cfg := quickConfig()
 	cfg.SimTime = 0
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Error("Run should reject invalid config")
 	}
 	if _, err := NewEngine(cfg); err == nil {
@@ -216,7 +217,7 @@ func TestEngineString(t *testing.T) {
 func TestRunReplicationsParallelMerge(t *testing.T) {
 	cfg := quickConfig()
 	cfg.SimTime = 4
-	agg, err := RunReplications(cfg, 3)
+	agg, err := RunReplications(context.Background(), cfg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,12 +233,12 @@ func TestRunReplicationsParallelMerge(t *testing.T) {
 	if agg.String() == "" {
 		t.Error("aggregate String empty")
 	}
-	if _, err := RunReplications(cfg, 0); err == nil {
+	if _, err := RunReplications(context.Background(), cfg, 0); err == nil {
 		t.Error("zero replications should fail")
 	}
 	bad := cfg
 	bad.SimTime = 0
-	if _, err := RunReplications(bad, 2); err == nil {
+	if _, err := RunReplications(context.Background(), bad, 2); err == nil {
 		t.Error("invalid config should fail")
 	}
 }
@@ -245,11 +246,11 @@ func TestRunReplicationsParallelMerge(t *testing.T) {
 func TestRunReplicationsReproducible(t *testing.T) {
 	cfg := quickConfig()
 	cfg.SimTime = 3
-	a, err := RunReplications(cfg, 2)
+	a, err := RunReplications(context.Background(), cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunReplications(cfg, 2)
+	b, err := RunReplications(context.Background(), cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestCompareSchedulers(t *testing.T) {
 	cfg := quickConfig()
 	cfg.SimTime = 4
 	kinds := []SchedulerKind{SchedulerJABASD, SchedulerFCFS}
-	out, err := CompareSchedulers(cfg, kinds, 1)
+	out, err := CompareSchedulers(context.Background(), cfg, kinds, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestCompareSchedulers(t *testing.T) {
 	}
 	bad := cfg
 	bad.SimTime = 0
-	if _, err := CompareSchedulers(bad, kinds, 1); err == nil {
+	if _, err := CompareSchedulers(context.Background(), bad, kinds, 1); err == nil {
 		t.Error("invalid config should fail")
 	}
 }
@@ -289,11 +290,11 @@ func TestHigherLoadIncreasesDelay(t *testing.T) {
 	light.DataUsersPerCell = 2
 	heavy := light
 	heavy.DataUsersPerCell = 14
-	lm, err := Run(light)
+	lm, err := Run(context.Background(), light)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hm, err := Run(heavy)
+	hm, err := Run(context.Background(), heavy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,11 +311,11 @@ func TestObjectiveJ1VersusJ2RunsBoth(t *testing.T) {
 	cfg := quickConfig()
 	cfg.SimTime = 5
 	cfg.Objective = core.Objective{Kind: core.ObjectiveThroughput}
-	if _, err := Run(cfg); err != nil {
+	if _, err := Run(context.Background(), cfg); err != nil {
 		t.Fatalf("J1 run failed: %v", err)
 	}
 	cfg.Objective = core.DefaultObjective()
-	if _, err := Run(cfg); err != nil {
+	if _, err := Run(context.Background(), cfg); err != nil {
 		t.Fatalf("J2 run failed: %v", err)
 	}
 }
@@ -345,7 +346,7 @@ func TestSnapshotModeIdenticalAcrossWorkerCounts(t *testing.T) {
 	for i, par := range []int{1, 2, 8, 0} {
 		cfg := base
 		cfg.FrameParallel = par
-		m, err := Run(cfg)
+		m, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("FrameParallel=%d: %v", par, err)
 		}
@@ -376,7 +377,7 @@ func TestSnapshotModeIdenticalAcrossWorkerCountsRandomScheduler(t *testing.T) {
 	for i, par := range []int{1, 4} {
 		cfg := base
 		cfg.FrameParallel = par
-		m, err := Run(cfg)
+		m, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("FrameParallel=%d: %v", par, err)
 		}
@@ -401,13 +402,13 @@ func TestFrameModesAgreeOnSingleCell(t *testing.T) {
 		cfg.Rings = 0 // one cell
 		cfg.DataUsersPerCell = 8
 		cfg.Direction = dir
-		seq, err := Run(cfg)
+		seq, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		cfg.FrameMode = FrameSnapshot
 		cfg.FrameParallel = 2
-		snap, err := Run(cfg)
+		snap, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -431,12 +432,12 @@ func TestFrameModesDivergeUnderMultiCellLoad(t *testing.T) {
 	cfg := quickConfig()
 	cfg.SimTime = 8
 	cfg.DataUsersPerCell = 14 // enough contention for cross-cell coupling
-	seq, err := Run(cfg)
+	seq, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.FrameMode = FrameSnapshot
-	snap, err := Run(cfg)
+	snap, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -488,7 +489,7 @@ func TestIncrementalRegionsMatchFullRebuild(t *testing.T) {
 			t.Fatal("fast path engine has no incremental region cache")
 		}
 		e.incr.ForceFull = forceFull
-		m, err := e.Run()
+		m, err := e.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -563,7 +564,7 @@ func TestRegionEpsilonReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := e.Run()
+	m, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

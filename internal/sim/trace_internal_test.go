@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -22,12 +23,12 @@ func traceTestConfig() Config {
 
 func TestTraceDoesNotPerturbSimulation(t *testing.T) {
 	cfg := traceTestConfig()
-	plain, err := Run(cfg)
+	plain, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Trace = &trace.Memory{}
-	traced, err := Run(cfg)
+	traced, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestTraceRecordConsistency(t *testing.T) {
 	cfg.WarmupTime = 0 // align trace completions with the metrics counters
 	mem := &trace.Memory{}
 	cfg.Trace = mem
-	m, err := Run(cfg)
+	m, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestTraceEverySamples(t *testing.T) {
 	mem := &trace.Memory{}
 	cfg.Trace = mem
 	cfg.TraceEvery = 25
-	m, err := Run(cfg)
+	m, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestTraceIdenticalAcrossFrameParallel(t *testing.T) {
 		cfg.FrameParallel = workers
 		mem := &trace.Memory{}
 		cfg.Trace = mem
-		if _, err := Run(cfg); err != nil {
+		if _, err := Run(context.Background(), cfg); err != nil {
 			t.Fatal(err)
 		}
 		return mem.Records
@@ -140,7 +141,7 @@ func TestRunReplicationsTracesOnlyReplicationZero(t *testing.T) {
 	cfg := traceTestConfig()
 	mem := &trace.Memory{}
 	cfg.Trace = mem
-	if _, err := RunReplications(cfg, 3); err != nil {
+	if _, err := RunReplications(context.Background(), cfg, 3); err != nil {
 		t.Fatal(err)
 	}
 	// Exactly one engine wrote: every (frame, cell) pair appears once.
@@ -155,7 +156,7 @@ func TestRunReplicationsTracesOnlyReplicationZero(t *testing.T) {
 	// And it was replication 0: identical to a single traced run.
 	single := &trace.Memory{}
 	cfg.Trace = single
-	if _, err := Run(cfg); err != nil {
+	if _, err := Run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(mem.Records, single.Records) {
@@ -171,7 +172,7 @@ func TestLoadStepRaisesOfferedLoad(t *testing.T) {
 	cfg.LoadStep = &LoadStep{AtSec: 6, ReadingTimeSec: 0.5}
 	mem := &trace.Memory{}
 	cfg.Trace = mem
-	if _, err := Run(cfg); err != nil {
+	if _, err := Run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	var before, after int

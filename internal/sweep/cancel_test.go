@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"jabasd/internal/scenario"
+	"jabasd/internal/sim"
+)
+
+// TestStreamCancelledMidSweepStopsPromptly cancels the sweep from inside the
+// emit callback after the first point and checks the contract documented on
+// Stream: the call returns the context's error (not a wrapped point error),
+// it returns promptly rather than finishing the remaining points, and the
+// points emitted before the cancellation stay emitted.
+func TestStreamCancelledMidSweepStopsPromptly(t *testing.T) {
+	g, err := New(scenario.PresetSmoke, []string{"datausers=1,2,3,4,5,6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Long enough that running the whole grid would dominate the test run
+	// if cancellation failed to take, short enough for frame-boundary
+	// cancellation checks to fire quickly.
+	slow := func(cfg *sim.Config) {
+		shrink(cfg)
+		cfg.SimTime = 30
+		cfg.WarmupTime = 0.5
+	}
+
+	var emitted int
+	start := time.Now()
+	err = Stream(ctx, g, Options{Parallel: 2, Mutate: slow}, func(r Result) error {
+		emitted++
+		cancel()
+		return nil
+	})
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emitted < 1 || emitted >= 6 {
+		t.Errorf("emitted %d points, want at least the first and not the whole grid", emitted)
+	}
+	// Generous bound: one point of this config takes well under a second, so
+	// anything near the full six-point runtime means cancellation was ignored.
+	if elapsed > 30*time.Second {
+		t.Errorf("cancelled sweep took %v, did not stop promptly", elapsed)
+	}
+}
+
+// TestStreamPreCancelledContext checks that a sweep handed an already
+// cancelled context fails fast without running any point.
+func TestStreamPreCancelledContext(t *testing.T) {
+	g, err := New(scenario.PresetSmoke, []string{"datausers=2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = Stream(ctx, g, Options{Mutate: shrink}, func(Result) error {
+		t.Error("no point should be emitted under a pre-cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

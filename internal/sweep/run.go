@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"jabasd/internal/sim"
@@ -43,9 +44,9 @@ type Result struct {
 
 // Run expands the grid and runs every point, returning the results in grid
 // order. See Stream for the execution model.
-func Run(g Grid, opts Options) ([]Result, error) {
+func Run(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 	var out []Result
-	err := Stream(g, opts, func(r Result) error {
+	err := Stream(ctx, g, opts, func(r Result) error {
 		out = append(out, r)
 		return nil
 	})
@@ -61,7 +62,12 @@ func Run(g Grid, opts Options) ([]Result, error) {
 // earlier point have finished. Emitting incrementally means a failure late
 // in a long sweep keeps everything completed before it. For a fixed base
 // seed the emitted results are identical regardless of opts.Parallel.
-func Stream(g Grid, opts Options, emit func(Result) error) error {
+//
+// Cancelling the context stops the sweep promptly: in-flight replications
+// notice it at their next frame boundary, queued work items never start,
+// and Stream returns the context's error after the workers drain. Points
+// already emitted stay emitted.
+func Stream(ctx context.Context, g Grid, opts Options, emit func(Result) error) error {
 	points, err := g.Points()
 	if err != nil {
 		return err
@@ -112,6 +118,11 @@ func Stream(g Grid, opts Options, emit func(Result) error) error {
 	aggs := make([]*sim.Aggregate, len(points))
 	return stream.Ordered(n, opts.Parallel,
 		func(item int) error {
+			// Work items not yet started fail fast once the sweep is
+			// cancelled instead of running a doomed replication each.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			p, r := item/reps, item%reps
 			cfg := cfgs[p]
 			cfg.Seed += uint64(r)
@@ -123,8 +134,11 @@ func Stream(g Grid, opts Options, emit func(Result) error) error {
 				cfg.Trace = sinks[p]
 				cfg.TraceEvery = opts.TraceEvery
 			}
-			m, err := sim.Run(cfg)
+			m, err := sim.Run(ctx, cfg)
 			if err != nil {
+				if ctx.Err() != nil {
+					return err // the cancellation, not a simulation failure
+				}
 				return fmt.Errorf("sweep: point %d (%s) replication %d: %w",
 					p, points[p].Label(), r, err)
 			}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestStreamTracesReplicationZeroPerPoint(t *testing.T) {
 			},
 			TraceEvery: 10,
 		}
-		if err := Stream(g, opts, func(Result) error { return nil }); err != nil {
+		if err := Stream(context.Background(), g, opts, func(Result) error { return nil }); err != nil {
 			t.Fatal(err)
 		}
 		return sinks

@@ -30,15 +30,19 @@ type Axis struct {
 	Values []string
 }
 
-// Grid is a parameter sweep: a scenario preset anchoring every point plus
-// the axes whose cross product forms the point list. The zero Axes grid has
-// exactly one point — the preset itself.
+// Grid is a parameter sweep: a base configuration anchoring every point
+// plus the axes whose cross product forms the point list. The zero Axes
+// grid has exactly one point — the base itself.
 type Grid struct {
 	// Name labels built-in grids (see Grids); empty for ad-hoc grids.
 	Name string
 	// Preset is the scenario preset every point starts from ("" = baseline).
+	// Ignored when Base is set.
 	Preset string
-	Axes   []Axis
+	// Base, when non-nil, anchors every point on this configuration instead
+	// of a named preset — a sweep over a scenario loaded from JSON.
+	Base *sim.Config
+	Axes []Axis
 }
 
 // AxisValue records the value one axis took at a grid point.
@@ -237,9 +241,15 @@ func New(preset string, axisSpecs []string) (Grid, error) {
 // indices (and therefore seeds) are stable for a given grid. Every returned
 // configuration is validated.
 func (g Grid) Points() ([]Point, error) {
-	base, err := scenario.Lookup(g.Preset)
-	if err != nil {
-		return nil, fmt.Errorf("sweep: %w", err)
+	var base sim.Config
+	if g.Base != nil {
+		base = *g.Base
+	} else {
+		var err error
+		base, err = scenario.Lookup(g.Preset)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
 	}
 	defs := make([]axisDef, len(g.Axes))
 	used := make(map[string]bool, len(g.Axes))

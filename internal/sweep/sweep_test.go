@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -152,7 +153,7 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 		t.Fatal(err)
 	}
 	render := func(parallel int) string {
-		results, err := Run(g, Options{Reps: 2, Parallel: parallel, Mutate: shrink})
+		results, err := Run(context.Background(), g, Options{Reps: 2, Parallel: parallel, Mutate: shrink})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +179,7 @@ func TestStreamEmitsInGridOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []int
-	err = Stream(g, Options{Parallel: 4, Mutate: shrink}, func(r Result) error {
+	err = Stream(context.Background(), g, Options{Parallel: 4, Mutate: shrink}, func(r Result) error {
 		got = append(got, r.Index)
 		if r.Agg == nil || r.Agg.Replications != 1 {
 			t.Errorf("point %d has no aggregate", r.Index)
@@ -203,7 +204,7 @@ func TestStreamRejectsInvalidMutatedConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = Stream(g, Options{Mutate: func(c *sim.Config) { c.SimTime = -1 }}, func(Result) error { return nil })
+	err = Stream(context.Background(), g, Options{Mutate: func(c *sim.Config) { c.SimTime = -1 }}, func(Result) error { return nil })
 	if err == nil || !strings.Contains(err.Error(), "point 0") {
 		t.Errorf("invalid mutated config should fail naming the point, got %v", err)
 	}
@@ -215,7 +216,7 @@ func TestBaseSeedOverrideIsDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(seed uint64) []Result {
-		out, err := Run(g, Options{BaseSeed: seed, Mutate: shrink})
+		out, err := Run(context.Background(), g, Options{BaseSeed: seed, Mutate: shrink})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -274,7 +275,7 @@ func TestPaperLoadSweepEndToEnd(t *testing.T) {
 		t.Fatalf("paper-load-sweep has %d points, want %d", len(points), want)
 	}
 
-	results, err := Run(g, Options{Reps: 1, Mutate: func(c *sim.Config) {
+	results, err := Run(context.Background(), g, Options{Reps: 1, Mutate: func(c *sim.Config) {
 		shrink(c)
 		c.SimTime = 1.5
 		c.WarmupTime = 0.3

@@ -1,0 +1,60 @@
+package jabasd_bench
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestNoTrackedBinaries fails when a compiled binary is tracked by git.
+// Stray `go build` outputs (the jabasim ELF, *.test binaries) have been
+// committed and removed twice already; this gate makes the mistake fail CI
+// instead of recurring. A file counts as a binary when its first bytes are
+// an executable magic number (ELF, Mach-O, PE) — extension lists rot,
+// magic numbers do not.
+func TestNoTrackedBinaries(t *testing.T) {
+	out, err := exec.Command("git", "ls-files").Output()
+	if err != nil {
+		t.Skipf("git ls-files unavailable: %v", err)
+	}
+	var offenders []string
+	for _, name := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if name == "" {
+			continue
+		}
+		f, err := os.Open(name)
+		if err != nil {
+			continue // deleted in the working tree; nothing to inspect
+		}
+		head := make([]byte, 4)
+		n, _ := f.Read(head)
+		f.Close()
+		if isBinaryMagic(head[:n]) {
+			offenders = append(offenders, name)
+		}
+	}
+	if len(offenders) > 0 {
+		t.Errorf("tracked compiled binaries (git rm them; build outputs belong in .gitignore): %v", offenders)
+	}
+}
+
+// isBinaryMagic reports whether the first bytes of a file identify a
+// compiled executable: ELF (linux), Mach-O 32/64/fat (darwin), or MZ (pe).
+func isBinaryMagic(head []byte) bool {
+	if bytes.HasPrefix(head, []byte("\x7fELF")) {
+		return true
+	}
+	machO := [][]byte{
+		{0xfe, 0xed, 0xfa, 0xce}, {0xfe, 0xed, 0xfa, 0xcf},
+		{0xcf, 0xfa, 0xed, 0xfe}, {0xce, 0xfa, 0xed, 0xfe},
+		{0xca, 0xfe, 0xba, 0xbe},
+	}
+	for _, m := range machO {
+		if bytes.Equal(head, m) {
+			return true
+		}
+	}
+	return bytes.HasPrefix(head, []byte("MZ"))
+}
