@@ -1,0 +1,145 @@
+package cellular
+
+import "math"
+
+// Windowed variants of the geometry and pilot kernels: instead of scanning
+// every base station they operate on an explicit candidate subset — the
+// cells of a user's measurement window, as produced per bucket by
+// internal/spatial. The candidate slice carries GLOBAL cell indices, sorted
+// ascending, and the parallel gain/distance slices are SLOT-indexed
+// (gains[i] belongs to cells[i]). The arithmetic per candidate is identical
+// to the full-scan kernels'; only the set of cells entering the Io total is
+// restricted to the window, which is the windowed physics' modelling
+// approximation (cells beyond the window contribute negligible pilot
+// power by construction).
+
+// DistanceSq returns the SQUARED distance from p to base station k, with
+// exactly the arithmetic of DistancesSqInto (abs-diff fold, no square
+// root), so selections made on it match the batched fast path bit for bit.
+func (l *Layout) DistanceSq(p Point, k int) float64 {
+	b := l.Cells[k].Position
+	if !l.WrapAround {
+		dx, dy := p.X-b.X, p.Y-b.Y
+		return dx*dx + dy*dy
+	}
+	dx, dy := math.Abs(p.X-b.X), math.Abs(p.Y-b.Y)
+	if dx > l.width/2 {
+		dx = l.width - dx
+	}
+	if dy > l.height/2 {
+		dy = l.height - dy
+	}
+	return dx*dx + dy*dy
+}
+
+// DistancesForInto fills dst[i] with the metre distance from p to candidate
+// cell cells[i], identically to per-cell Distance calls.
+func (l *Layout) DistancesForInto(p Point, cells []int32, dst []float64) {
+	for i, k := range cells {
+		dst[i] = l.Distance(p, int(k))
+	}
+}
+
+// DistancesSqForInto fills dst[i] with the SQUARED distance from p to
+// candidate cell cells[i], identically to DistancesSqInto restricted to the
+// subset.
+func (l *Layout) DistancesSqForInto(p Point, cells []int32, dst []float64) {
+	for i, k := range cells {
+		dst[i] = l.DistanceSq(p, int(k))
+	}
+}
+
+// FindCell returns the slot of a global cell index within an ascending
+// candidate list, or -1 when the cell is outside the window. Binary search:
+// candidate windows are small but this runs per (user, reduced-set cell)
+// per frame.
+func FindCell(cells []int32, cell int32) int {
+	lo, hi := 0, len(cells)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cells[mid] < cell {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(cells) && cells[lo] == cell {
+		return lo
+	}
+	return -1
+}
+
+// PilotSetCellsInto is PilotSetInto restricted to a candidate window: the
+// Io total sums the window's cells only, each measurement carries the
+// GLOBAL cell index from cells[i], and the result is sorted by decreasing
+// Ec/Io with the same insertion sort. Used by the exact (dB-domain)
+// windowed physics path.
+func PilotSetCellsInto(dst []PilotMeasurement, cells []int32, gains []float64, pilotFraction, txPower, noise float64) []PilotMeasurement {
+	total := noise
+	for _, g := range gains {
+		total += txPower * g
+	}
+	dst = dst[:0]
+	for i, g := range gains {
+		ec := pilotFraction * txPower * g
+		ecio := ec / total
+		dst = append(dst, PilotMeasurement{
+			Cell:   int(cells[i]),
+			EcIo:   ecio,
+			EcIoDB: 10 * math.Log10(math.Max(ecio, 1e-30)),
+			GainDB: 10 * math.Log10(math.Max(g, 1e-30)),
+		})
+	}
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j-1].EcIo < dst[j].EcIo; j-- {
+			dst[j-1], dst[j] = dst[j], dst[j-1]
+		}
+	}
+	return dst
+}
+
+// PilotSetCellsLinearInto is PilotSetLinearInto restricted to a candidate
+// window (linear domain, EcIoDB/GainDB left zero). Like the full-scan
+// version it is frame-coherent: when dst already holds one entry per
+// candidate the new Ec/Io values are written into last frame's order (the
+// slot of each retained entry found by binary search over the ascending
+// candidate list) and the insertion sort only repairs one frame of drift.
+// After a retarget the caller must reslice dst to length zero — the stale
+// entries may name cells no longer in the window; a stale entry is detected
+// and triggers a full rebuild, so results stay correct either way.
+func PilotSetCellsLinearInto(dst []PilotMeasurement, cells []int32, gains []float64, pilotFraction, txPower, noise float64) []PilotMeasurement {
+	total := noise
+	for _, g := range gains {
+		total += txPower * g
+	}
+	scale := pilotFraction * txPower / total
+	if len(dst) == len(cells) {
+		ok := true
+		for i := range dst {
+			s := FindCell(cells, int32(dst[i].Cell))
+			if s < 0 {
+				ok = false
+				break
+			}
+			dst[i].EcIo = scale * gains[s]
+		}
+		if ok {
+			for i := 1; i < len(dst); i++ {
+				for j := i; j > 0 && dst[j-1].EcIo < dst[j].EcIo; j-- {
+					dst[j-1], dst[j] = dst[j], dst[j-1]
+				}
+			}
+			return dst
+		}
+	}
+	dst = dst[:0]
+	for i, g := range gains {
+		dst = append(dst, PilotMeasurement{Cell: int(cells[i]), EcIo: scale * g})
+	}
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j-1].EcIo < dst[j].EcIo; j-- {
+			dst[j-1], dst[j] = dst[j], dst[j-1]
+		}
+	}
+	return dst
+}

@@ -1,0 +1,153 @@
+package channel
+
+import (
+	"testing"
+
+	"jabasd/internal/rng"
+)
+
+// fullCells returns the ascending identity candidate list [0, n).
+func fullCells(n int) []int32 {
+	c := make([]int32, n)
+	for i := range c {
+		c[i] = int32(i)
+	}
+	return c
+}
+
+// TestWindowMatchesBatchFullWidth: a window as wide as the cell count,
+// targeted at every cell, must reproduce the full Batch bit for bit on both
+// advance kernels — the windowed path collapses to the full-scan path when
+// nothing is excluded.
+func TestWindowMatchesBatchFullWidth(t *testing.T) {
+	const users, cells = 3, 5
+	pl := DefaultPathLoss()
+	for _, exact := range []bool{true, false} {
+		b := NewBatch(users, cells, pl, 8, 50)
+		w := NewWindow(users, cells, pl, 8, 50)
+		for u := 0; u < users; u++ {
+			pb := rng.New(uint64(100 + u))
+			pw := rng.New(uint64(100 + u))
+			b.SeedUser(u, pb, 10)
+			w.SeedUser(u, pw, 10)
+			if w.Retarget(u, fullCells(cells)) != true {
+				t.Fatal("first Retarget must report a change")
+			}
+		}
+		travels := []float64{5, 0, 2.5, 0, 0, 17, 1}
+		for f, travelled := range travels {
+			for u := 0; u < users; u++ {
+				for k := 0; k < cells; k++ {
+					d := 200 + 37*float64(u) + 11*float64(k) + 3*float64(f)
+					if !exact {
+						d *= d // fast kernel reads squared distances
+					}
+					b.DistRow(u)[k] = d
+					w.DistRow(u)[k] = d
+				}
+				if exact {
+					if travelled == 0 && b.Ready(u) {
+						b.AdvancePausedExact(u)
+						w.AdvancePausedExact(u)
+					} else {
+						b.AdvanceExact(u, travelled)
+						w.AdvanceExact(u, travelled)
+					}
+				} else {
+					db := b.AdvanceFast(u, travelled, 0.01)
+					dw := w.AdvanceFast(u, travelled, 0.01)
+					if db != dw {
+						t.Fatalf("exact=%v frame %d user %d: dirty %v (batch) vs %v (window)", exact, f, u, db, dw)
+					}
+				}
+				gb, gw := b.GainRow(u), w.GainRow(u)
+				for k := range gb {
+					if gb[k] != gw[k] {
+						t.Fatalf("exact=%v frame %d user %d cell %d: gain %g (batch) vs %g (window)",
+							exact, f, u, k, gb[k], gw[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRetargetCarriesState: slots whose cell survives a retarget keep their
+// shadowing state; entering slots draw fresh.
+func TestRetargetCarriesState(t *testing.T) {
+	w := NewWindow(1, 2, DefaultPathLoss(), 8, 50)
+	w.SeedUser(0, rng.New(42), 10)
+	if !w.Retarget(0, []int32{1, 3}) {
+		t.Fatal("initial Retarget must report a change")
+	}
+	w.DistRow(0)[0], w.DistRow(0)[1] = 300, 500
+	w.AdvanceExact(0, 0) // initial draws
+	before := append([]float64(nil), w.ShadowRow(0)...)
+	if w.Retarget(0, []int32{1, 3}) {
+		t.Fatal("identical candidate list must not report a change")
+	}
+	if !w.Retarget(0, []int32{3, 5}) {
+		t.Fatal("new candidate list must report a change")
+	}
+	after := w.ShadowRow(0)
+	if after[0] != before[1] {
+		t.Fatalf("cell 3 moved slot 1 -> 0 but shadow changed: %g -> %g", before[1], after[0])
+	}
+	if after[1] == before[0] || after[1] == before[1] {
+		t.Fatalf("entering cell 5 must draw fresh shadowing, got carried value %g", after[1])
+	}
+	if got := w.CellRow(0); got[0] != 3 || got[1] != 5 {
+		t.Fatalf("CellRow = %v, want [3 5]", got)
+	}
+}
+
+// TestRetargetDeterminism: the same seed and the same retarget/advance
+// history produce bitwise identical state, regardless of anything else —
+// the property the tiled engine's determinism gate rests on.
+func TestRetargetDeterminism(t *testing.T) {
+	mk := func() *Window {
+		w := NewWindow(1, 3, DefaultPathLoss(), 8, 50)
+		w.SeedUser(0, rng.New(7), 10)
+		return w
+	}
+	run := func(w *Window) {
+		lists := [][]int32{{0, 1, 2}, {1, 2, 4}, {1, 2, 4}, {2, 4, 6}, {0, 2, 6}}
+		for f, cand := range lists {
+			w.Retarget(0, cand)
+			for s := range cand {
+				w.DistRow(0)[s] = float64(100+10*f+s) * float64(100+10*f+s)
+			}
+			w.AdvanceFast(0, 4, 0)
+		}
+	}
+	a, b := mk(), mk()
+	run(a)
+	run(b)
+	ga, gb := a.GainRow(0), b.GainRow(0)
+	for k := range ga {
+		if ga[k] != gb[k] {
+			t.Fatalf("slot %d: %g vs %g", k, ga[k], gb[k])
+		}
+	}
+	sa, sb := a.ShadowRow(0), b.ShadowRow(0)
+	for k := range sa {
+		if sa[k] != sb[k] {
+			t.Fatalf("shadow slot %d: %g vs %g", k, sa[k], sb[k])
+		}
+	}
+}
+
+func TestWindowPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero width", func() { NewWindow(1, 0, DefaultPathLoss(), 8, 50) })
+	mustPanic("oversized width", func() { NewWindow(1, MaxWindowWidth+1, DefaultPathLoss(), 8, 50) })
+	w := NewWindow(1, 2, DefaultPathLoss(), 8, 50)
+	mustPanic("wrong candidate length", func() { w.Retarget(0, []int32{1}) })
+}

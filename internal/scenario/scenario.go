@@ -32,6 +32,8 @@ const (
 	PresetThroughput = "j1-max-tput"
 	PresetSmoke      = "smoke"
 	PresetMetro      = "metro"
+	PresetCity       = "city"
+	PresetCityDense  = "city-dense"
 )
 
 // preset couples a one-line description with the mutation it applies to the
@@ -76,6 +78,10 @@ var presets = map[string]preset{
 			c.VoiceUsersPerCell = 12
 			c.FrameMode = sim.FrameSnapshot
 		}},
+	PresetCity: {"1027 wrap-around cells, 100 data users/cell, tiled snapshot frames",
+		func(c *sim.Config) { applyCity(c, 100, 20) }},
+	PresetCityDense: {"1027 wrap-around cells, 250 data users/cell, tiled snapshot frames",
+		func(c *sim.Config) { applyCity(c, 250, 40) }},
 	PresetSmoke: {"tiny fast scenario for CI / demos",
 		func(c *sim.Config) {
 			c.Rings = 1
@@ -85,6 +91,26 @@ var presets = map[string]preset{
 			c.VoiceUsersPerCell = 4
 			c.Data.MeanReadingTimeSec = 4
 		}},
+}
+
+// applyCity mutates the default configuration into the city-scale family:
+// an 18-ring wrap-around grid (1027 cells) of 500 m microcells with the
+// city-scale machinery switched on — windowed per-user physics (a 24-cell
+// measurement window via the spatial bucket index, so channel state is
+// O(users x window) instead of O(users x cells)) and the tiled snapshot
+// frame mode (8 tiles; results are byte-identical for any tile count, so
+// -tiles only changes wall-clock). SimTime is short because a single city
+// frame covers >100k data users; sweeps scale it as needed.
+func applyCity(c *sim.Config, dataPerCell, voicePerCell int) {
+	c.Rings = 18
+	c.CellRadius = 500
+	c.DataUsersPerCell = dataPerCell
+	c.VoiceUsersPerCell = voicePerCell
+	c.FrameMode = sim.FrameSnapshot
+	c.Tiles = 8
+	c.PilotCells = 24
+	c.SimTime = 20
+	c.WarmupTime = 0.5
 }
 
 // Names returns the available preset names in sorted order.

@@ -38,24 +38,37 @@ func (s JobState) Terminal() bool {
 // body is a jabasweep/jabasim/jabaexp invocation in JSON form.
 type JobSpec struct {
 	// Kind is "run", "sweep" or "experiments".
-	Kind        string                   `json:"kind"`
-	Run         *jobspec.RunSpec         `json:"run,omitempty"`
-	Sweep       *jobspec.SweepSpec       `json:"sweep,omitempty"`
+	Kind string `json:"kind"`
+	// Run describes a single simulation (kind "run"): scenario, overrides
+	// and replication count, exactly as cmd/jabasim resolves them.
+	Run *jobspec.RunSpec `json:"run,omitempty"`
+	// Sweep describes a parameter sweep (kind "sweep"): a named grid or
+	// ad-hoc axes over a base scenario, exactly as cmd/jabasweep resolves
+	// them.
+	Sweep *jobspec.SweepSpec `json:"sweep,omitempty"`
+	// Experiments describes an experiment-suite run (kind "experiments"),
+	// exactly as cmd/jabaexp resolves it.
 	Experiments *jobspec.ExperimentsSpec `json:"experiments,omitempty"`
 }
 
 // JobStatus is the JSON view of a job returned by the job endpoints.
 type JobStatus struct {
-	ID    string   `json:"id"`
-	Kind  string   `json:"kind"`
+	// ID is the server-assigned job identifier used in the job URLs.
+	ID string `json:"id"`
+	// Kind echoes the submitted JobSpec.Kind.
+	Kind string `json:"kind"`
+	// State is the job's current lifecycle position.
 	State JobState `json:"state"`
-	Error string   `json:"error,omitempty"`
+	// Error carries the failure message of a failed job.
+	Error string `json:"error,omitempty"`
 	// RowsDone counts emitted progress rows (grid points for a sweep,
 	// completed experiments for a suite); RowsTotal is the expected count.
-	RowsDone  int    `json:"rows_done"`
-	RowsTotal int    `json:"rows_total,omitempty"`
-	Created   string `json:"created,omitempty"`
-	Finished  string `json:"finished,omitempty"`
+	RowsDone  int `json:"rows_done"`
+	RowsTotal int `json:"rows_total,omitempty"`
+	// Created and Finished are RFC 3339 timestamps; Finished is empty
+	// until the job reaches a terminal state.
+	Created  string `json:"created,omitempty"`
+	Finished string `json:"finished,omitempty"`
 }
 
 // row is one unit of streamed job progress, carried in both framings the
@@ -76,7 +89,9 @@ type runnable struct {
 
 // Job is one queued or running unit of server work.
 type Job struct {
-	ID   string
+	// ID is the server-assigned identifier (see JobStatus.ID).
+	ID string
+	// Spec is the submission body the job was created from, verbatim.
 	Spec JobSpec
 
 	work   runnable

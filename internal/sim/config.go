@@ -210,6 +210,26 @@ type Config struct {
 	// ResolveFrameParallel). It never affects the results and is ignored
 	// in sequential mode.
 	FrameParallel int
+	// Tiles shards the hex grid into that many contiguous tiles (see
+	// internal/shard): each tile owns its cells' queues, warm solver clone,
+	// region cache and grant buffers, and the snapshot measure+solve phase
+	// fans out one task per tile instead of one per active cell. Values
+	// above the cell count are clamped; 0 (the default) keeps the untiled
+	// per-cell fan-out. Requires the snapshot frame mode. Like
+	// FrameParallel it never affects the results: metrics and traces are
+	// byte-identical for any tile count, including 0.
+	Tiles int
+	// PilotCells bounds each user's measurement window to the nearest
+	// PilotCells cells of its spatial-grid bucket (see internal/spatial):
+	// pilot sets, shadowing state and interference sums then cost O(window)
+	// instead of O(cells) per user per frame, which is what makes 1000-cell
+	// maps tractable. 0 (the default) keeps the full per-cell scan and its
+	// bit-exact goldens; positive values are a (deterministic) modelling
+	// approximation — cells outside the window are treated as negligible —
+	// so they change results relative to 0. Must be at least 4 (the active
+	// set plus slack) and at most channel.MaxWindowWidth; >= 19 (a two-ring
+	// neighbourhood) is recommended.
+	PilotCells int
 
 	// Trace, when non-nil, receives per-frame per-cell telemetry records
 	// (offered/admitted bursts, cell load, queue length, solve status,
@@ -342,6 +362,15 @@ func (c Config) Validate() error {
 	}
 	if c.FrameParallel < 0 {
 		fail("FrameParallel must be >= 0")
+	}
+	if c.Tiles < 0 {
+		fail("Tiles must be >= 0")
+	}
+	if c.Tiles > 0 && c.FrameMode.normalize() != FrameSnapshot {
+		fail("Tiles requires the snapshot frame mode")
+	}
+	if c.PilotCells != 0 && (c.PilotCells < 4 || c.PilotCells > channel.MaxWindowWidth) {
+		fail("PilotCells must be 0 (full scan) or in [4, %d]", channel.MaxWindowWidth)
 	}
 	if c.TraceEvery < 0 {
 		fail("TraceEvery must be >= 0")

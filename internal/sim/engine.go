@@ -14,6 +14,8 @@ import (
 	"jabasd/internal/measurement"
 	"jabasd/internal/mobility"
 	"jabasd/internal/rng"
+	"jabasd/internal/shard"
+	"jabasd/internal/spatial"
 	"jabasd/internal/stream"
 	"jabasd/internal/trace"
 	"jabasd/internal/traffic"
@@ -78,6 +80,13 @@ type dataUser struct {
 	ver         uint64
 	prevReduced []int
 
+	// Windowed physics state (PilotCells > 0): cand aliases the user's
+	// slot-to-cell row of the channel window (global cell indices,
+	// ascending) and bucket is the spatial-grid bucket the window was last
+	// targeted at (-1 before the first frame).
+	cand   []int32
+	bucket int
+
 	queuedReq  *traffic.BurstRequest
 	queuedCell int
 	firstGrant bool
@@ -121,6 +130,14 @@ type Engine struct {
 	fadeB *rng.JakesBatch
 	chanB *channel.Batch
 
+	// Windowed physics (PilotCells > 0): the spatial bucket index and the
+	// windowed channel state. winB embeds the Batch chanB points at (with
+	// cells == window width), so the advance kernels and gain rows are
+	// shared; spix additionally serves the voice users' nearest-cell
+	// queries, replacing their O(cells) scans.
+	spix *spatial.Index
+	winB *channel.Window
+
 	// incr caches per-cell admissible regions across frames (fast path
 	// only; the exact reference path always rebuilds). Safe to share across
 	// snapshot workers: a cell is solved by exactly one worker per frame.
@@ -154,6 +171,12 @@ type Engine struct {
 	workers []*frameWorker
 	active  []int
 	grants  []cellGrants
+
+	// Tiled snapshot mode (Tiles > 0): the contiguous cell partition and
+	// the per-tile ownership state replacing workers/active/grants — see
+	// tiled.go. The solve phase then fans out one task per tile.
+	plan  shard.Plan
+	tiles []*simTile
 
 	// Telemetry, nil/empty when cfg.Trace is unset: the recorder wrapping
 	// the configured sink and the per-cell frame counters, reset every
@@ -265,8 +288,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.ebioTarget = mathx.Linear(cfg.FCHEbIoTargetDB)
 	e.addFactor = math.Pow(10, -cfg.SoftHandoffAddDB/10)
 	e.minEcIo = math.Pow(10, cfg.PilotMinEcIoDB/10)
-	if !cfg.ExactPHY {
+	if !cfg.ExactPHY && cfg.Tiles == 0 {
+		// Tiled engines skip the shared cache: each tile owns a private
+		// IncrementalRegions for its cell span (see initTiles).
 		e.incr = measurement.NewIncrementalRegions(layout.NumCells(), cfg.RegionEpsilon)
+	}
+	if cfg.PilotCells > 0 {
+		e.spix = spatial.New(layout, cfg.PilotCells)
 	}
 	e.queues = make([]*traffic.Queue, layout.NumCells())
 	for k := range e.queues {
@@ -282,7 +310,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 		if !ok {
 			return nil, fmt.Errorf("sim: scheduler %s does not implement core.Cloner, required by the snapshot frame mode (one independent instance per worker)", sched.Name())
 		}
-		e.initFrameWorkers(cl)
+		if cfg.Tiles > 0 {
+			e.initTiles(cl)
+		} else {
+			e.initFrameWorkers(cl)
+		}
 	}
 	e.populate()
 	return e, nil
@@ -327,7 +359,15 @@ func (e *Engine) populate() {
 	nData := nCells * e.cfg.DataUsersPerCell
 	e.mobB = mobility.NewWaypointBatch(e.region, e.cfg.MinSpeed, e.cfg.MaxSpeed, 30, nData)
 	e.fadeB = rng.NewJakesBatch(nData, 16, e.cfg.DopplerHz)
-	e.chanB = channel.NewBatch(nData, nCells, e.cfg.PathLoss, e.cfg.ShadowSigmaDB, e.cfg.ShadowDecorrM)
+	if e.spix != nil {
+		// Windowed physics: per-user channel state spans only the candidate
+		// window. chanB aliases the window's embedded Batch (cells == window
+		// width), so the shared advance/paused/ready plumbing is untouched.
+		e.winB = channel.NewWindow(nData, e.spix.Window(), e.cfg.PathLoss, e.cfg.ShadowSigmaDB, e.cfg.ShadowDecorrM)
+		e.chanB = e.winB.Batch
+	} else {
+		e.chanB = channel.NewBatch(nData, nCells, e.cfg.PathLoss, e.cfg.ShadowSigmaDB, e.cfg.ShadowDecorrM)
+	}
 	uid := 0
 	for c := 0; c < nCells; c++ {
 		for i := 0; i < e.cfg.DataUsersPerCell; i++ {
@@ -343,12 +383,16 @@ func (e *Engine) populate() {
 			u := &dataUser{
 				id:       uid,
 				gain:     e.chanB.GainRow(uid),
+				bucket:   -1,
 				source:   traffic.NewDataModel(dataSrc, uid, e.cfg.Data),
 				macM:     mac.MustNewMachine(e.cfg.MAC),
 				fchPower: load.MakeVec(3),
 				revFCHRx: load.MakeVec(3),
 				revPilot: load.MakeVec(3),
 				scrm:     load.MakeVec(measurement.SCRMMaxPilots),
+			}
+			if e.winB != nil {
+				u.cand = e.winB.CellRow(uid)
 			}
 			e.users = append(e.users, u)
 			uid++
@@ -420,27 +464,56 @@ func (e *Engine) applyLoadStep() {
 	e.loadStepDone = true
 }
 
-// updateVoice advances voice activity and positions. The serving cell is a
-// pure function of the position, so a paused user (zero travel) keeps its
-// cell without the NearestCell scan; the -1 sentinel from populate forces
-// the first evaluation. The fast path scans squared distances (saving one
-// sqrt per cell per moving voice user); the exact reference path keeps the
-// metre-domain scan so goldens cannot shift on sqrt-rounding ties.
+// updateVoice advances voice activity and positions. Each voice user's new
+// state is a pure function of its own previous state, so the tiled engine
+// fans the loop over the worker pool in chunks (a city preset carries tens
+// of thousands of voice users and the per-user scan would otherwise be a
+// serial Amdahl residue); elsewhere the loop stays sequential, preserving
+// the legacy paths bit for bit.
 func (e *Engine) updateVoice(dt float64) {
-	if e.cfg.ExactPHY {
-		for _, v := range e.voice {
-			v.model.Advance(dt)
-			if travelled := v.mob.Advance(dt); travelled > 0 || v.cell < 0 {
-				v.cell = e.layout.NearestCell(v.mob.Position())
+	if e.tiles != nil && e.pool != nil {
+		const chunk = 64
+		n := (len(e.voice) + chunk - 1) / chunk
+		e.pool.Run(n, func(_, task int) {
+			lo := task * chunk
+			hi := min(lo+chunk, len(e.voice))
+			for _, v := range e.voice[lo:hi] {
+				e.advanceVoice(v, dt)
 			}
-		}
+		})
 		return
 	}
 	for _, v := range e.voice {
-		v.model.Advance(dt)
-		if travelled := v.mob.Advance(dt); travelled > 0 || v.cell < 0 {
-			v.cell = e.layout.NearestCellSq(v.mob.Position())
-		}
+		e.advanceVoice(v, dt)
+	}
+}
+
+// advanceVoice advances one voice user. The serving cell is a pure function
+// of the position, so a paused user (zero travel) keeps its cell without
+// the nearest-cell search; the -1 sentinel from populate forces the first
+// evaluation. The fast path compares squared distances (saving one sqrt per
+// candidate); the exact reference path keeps the metre-domain comparison so
+// goldens cannot shift on sqrt-rounding ties. With a spatial index present
+// (PilotCells > 0) the search expands bucket rings instead of scanning all
+// cells — the index is exhaustively tested to return the very cell the
+// linear scans would, tie-breaks included, so the choice of search is
+// invisible in the results.
+func (e *Engine) advanceVoice(v *voiceUser, dt float64) {
+	v.model.Advance(dt)
+	travelled := v.mob.Advance(dt)
+	if travelled <= 0 && v.cell >= 0 {
+		return
+	}
+	pos := v.mob.Position()
+	switch {
+	case e.spix != nil && e.cfg.ExactPHY:
+		v.cell = e.spix.NearestCell(pos)
+	case e.spix != nil:
+		v.cell = e.spix.NearestCellSq(pos)
+	case e.cfg.ExactPHY:
+		v.cell = e.layout.NearestCell(pos)
+	default:
+		v.cell = e.layout.NearestCellSq(pos)
 	}
 }
 
@@ -473,9 +546,14 @@ func (e *Engine) updateUsers(dt float64) {
 // bit; the default fast path evaluates the same model through the batched
 // fast kernels.
 func (e *Engine) updateUser(u *dataUser, dt float64) {
-	if e.cfg.ExactPHY {
+	switch {
+	case e.winB != nil && e.cfg.ExactPHY:
+		e.updateUserExactWin(u, dt)
+	case e.winB != nil:
+		e.updateUserFastWin(u, dt)
+	case e.cfg.ExactPHY:
 		e.updateUserExact(u, dt)
-	} else {
+	default:
 		e.updateUserFast(u, dt)
 	}
 }
@@ -717,6 +795,10 @@ func (e *Engine) completeBurst(b *burst) {
 // snapshot mode), so the steady-state admission loop is allocation-free
 // through the integer programme up to the returned per-cell assignment.
 func (e *Engine) admit() {
+	if e.tiles != nil {
+		e.admitTiled()
+		return
+	}
 	if e.cfg.FrameMode.normalize() == FrameSnapshot {
 		e.admitSnapshot()
 		return
@@ -738,7 +820,7 @@ func (e *Engine) admitSequential() {
 			continue
 		}
 		e.traceSolve(k, len(e.admitScratch.reqs), false)
-		assignment, err := e.solveCell(k, &e.admitScratch, &e.regionB, e.scheduler, loads)
+		assignment, err := e.solveCell(k, &e.admitScratch, &e.regionB, e.scheduler, e.incr, loads)
 		if err != nil {
 			// Skip this cell this frame rather than abort the run, but leave
 			// a trace: a persistently skipped cell is a misconfiguration.
@@ -803,7 +885,7 @@ func (e *Engine) admitSnapshot() {
 		if cs, ok := fw.sched.(core.CellSeeder); ok {
 			cs.SeedCell(uint64(e.frame), uint64(k))
 		}
-		assignment, err := e.solveCell(k, &fw.scratch, &fw.regionB, fw.sched, loads)
+		assignment, err := e.solveCell(k, &fw.scratch, &fw.regionB, fw.sched, e.incr, loads)
 		if err != nil {
 			g.skipped = true
 			return
@@ -939,11 +1021,12 @@ func (e *Engine) avgThroughputBatch(dst, csi []float64) []float64 {
 // solveCell builds cell k's admissible region for the gathered requests
 // against the given ledger and solves the scheduling problem with the given
 // scheduler and region builder. On the fast path the region comes from the
-// incremental cache (rebuilt through rb only when the cell's request set,
-// measurement versions or — reverse link — involved-cell loads changed);
-// the exact reference path always rebuilds. The returned assignment indexes
-// s.users.
-func (e *Engine) solveCell(k int, s *admitScratch, rb *measurement.RegionBuilder, sched core.Scheduler, loads []float64) (core.Assignment, error) {
+// given incremental cache (the engine-wide one in sequential/snapshot mode,
+// the owning tile's in tiled mode; rebuilt through rb only when the cell's
+// request set, measurement versions or — reverse link — involved-cell loads
+// changed); the exact reference path passes nil and always rebuilds. The
+// returned assignment indexes s.users.
+func (e *Engine) solveCell(k int, s *admitScratch, rb *measurement.RegionBuilder, sched core.Scheduler, incr *measurement.IncrementalRegions, loads []float64) (core.Assignment, error) {
 	var region measurement.Region
 	var err error
 	switch e.cfg.Direction {
@@ -953,8 +1036,8 @@ func (e *Engine) solveCell(k int, s *admitScratch, rb *measurement.RegionBuilder
 			MaxLoad:     e.cfg.MaxCellPowerW,
 			GammaS:      e.cfg.RatePlan.GammaS,
 		}
-		if e.incr != nil {
-			region, _, err = e.incr.ForwardCell(k, rb, state, s.fwd, s.vers)
+		if incr != nil {
+			region, _, err = incr.ForwardCell(k, rb, state, s.fwd, s.vers)
 		} else {
 			region, err = rb.Forward(state, s.fwd)
 		}
@@ -965,8 +1048,8 @@ func (e *Engine) solveCell(k int, s *admitScratch, rb *measurement.RegionBuilder
 			GammaS:        e.cfg.RatePlan.GammaS,
 			ShadowMargin:  e.cfg.ShadowMargin,
 		}
-		if e.incr != nil {
-			region, _, err = e.incr.ReverseCell(k, rb, state, s.rev, s.vers)
+		if incr != nil {
+			region, _, err = incr.ReverseCell(k, rb, state, s.rev, s.vers)
 		} else {
 			region, err = rb.Reverse(state, s.rev)
 		}

@@ -399,7 +399,7 @@ func TestSnapshotSolvePhaseLeavesLedgerUntouched(t *testing.T) {
 	if !e.gatherCell(u.queuedCell, s, e.loads.Values()) {
 		t.Fatal("gather found nothing to schedule")
 	}
-	if _, err := e.solveCell(u.queuedCell, s, &e.workers[0].regionB, e.workers[0].sched, e.loads.Values()); err != nil {
+	if _, err := e.solveCell(u.queuedCell, s, &e.workers[0].regionB, e.workers[0].sched, e.incr, e.loads.Values()); err != nil {
 		t.Fatal(err)
 	}
 	for k, v := range e.loads.Values() {

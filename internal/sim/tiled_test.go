@@ -1,0 +1,224 @@
+package sim
+
+// Tests for the tiled snapshot mode and the windowed (city-scale) physics:
+// the tile-count determinism gate mirroring the FrameParallel gate, the
+// full-width identity of the windowed path, and the halo containment bound
+// the tile decomposition documents.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"jabasd/internal/cellular"
+	"jabasd/internal/trace"
+)
+
+// runTraced runs cfg with an in-memory trace attached and returns the
+// metrics fingerprint plus the raw records.
+func runTraced(t *testing.T, cfg Config) ([6]float64, []trace.Record) {
+	t.Helper()
+	mem := &trace.Memory{}
+	cfg.Trace = mem
+	m, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fingerprint(m), mem.Records
+}
+
+// TestTileCountDeterminism is the determinism contract of the tiled engine,
+// mirroring TestSnapshotModeIdenticalAcrossWorkerCounts: every cell is
+// solved against the immutable frame-start ledger by exactly one tile, its
+// scheduler RNG is reseeded per (frame, cell) and grants commit in global
+// cell order, so metrics AND traces are exactly identical for any tile
+// count — including tiles=1 versus the untiled snapshot path — at any
+// solve-phase parallelism.
+func TestTileCountDeterminism(t *testing.T) {
+	for _, dir := range []Direction{Forward, Reverse} {
+		base := quickConfig()
+		base.SimTime = 4
+		base.Direction = dir
+		base.FrameMode = FrameSnapshot
+		base.DataUsersPerCell = 8 // enough contention that grants matter
+		var wantFP [6]float64
+		var wantTrace []trace.Record
+		first := true
+		for _, par := range []int{1, 2} {
+			for _, tiles := range []int{0, 1, 3, 7, 19} {
+				cfg := base
+				cfg.FrameParallel = par
+				cfg.Tiles = tiles
+				fp, rec := runTraced(t, cfg)
+				if first {
+					wantFP, wantTrace = fp, rec
+					first = false
+					if fp[1] == 0 {
+						t.Fatalf("%s: no bursts completed; scenario too light to test determinism", dir)
+					}
+					continue
+				}
+				if fp != wantFP {
+					t.Errorf("%s tiles=%d par=%d: metrics diverged: %v vs %v", dir, tiles, par, fp, wantFP)
+				}
+				if !reflect.DeepEqual(rec, wantTrace) {
+					t.Errorf("%s tiles=%d par=%d: trace diverged from the untiled snapshot trace", dir, tiles, par)
+				}
+			}
+		}
+	}
+}
+
+// TestTileCountDeterminismExact covers the exact reference path (no region
+// cache, dB-domain kernels) with the same gate.
+func TestTileCountDeterminismExact(t *testing.T) {
+	base := quickConfig()
+	base.SimTime = 3
+	base.FrameMode = FrameSnapshot
+	base.ExactPHY = true
+	var want [6]float64
+	var wantTrace []trace.Record
+	for i, tiles := range []int{0, 1, 4} {
+		cfg := base
+		cfg.FrameParallel = 2
+		cfg.Tiles = tiles
+		fp, rec := runTraced(t, cfg)
+		if i == 0 {
+			want, wantTrace = fp, rec
+			continue
+		}
+		if fp != want {
+			t.Errorf("exact tiles=%d: metrics diverged: %v vs %v", tiles, fp, want)
+		}
+		if !reflect.DeepEqual(rec, wantTrace) {
+			t.Errorf("exact tiles=%d: trace diverged", tiles)
+		}
+	}
+}
+
+// TestWindowedFullWidthIdentity pins the key property the windowed physics
+// is built on: when PilotCells covers every cell of the layout, the
+// candidate list is the identity, the window retargets are no-ops after the
+// first frame, and every summation runs in the same order as the full scan
+// — so the windowed engine reproduces the full-scan engine exactly, on both
+// the fast and the exact kernels, tiled or not.
+func TestWindowedFullWidthIdentity(t *testing.T) {
+	for _, exact := range []bool{false, true} {
+		for _, dir := range []Direction{Forward, Reverse} {
+			base := quickConfig()
+			base.SimTime = 4
+			base.Direction = dir
+			base.ExactPHY = exact
+			full, fullTrace := runTraced(t, base)
+			win := base
+			win.PilotCells = 19 // >= 7 cells: the window is the whole layout
+			got, gotTrace := runTraced(t, win)
+			if got != full {
+				t.Errorf("exact=%v %s: full-width windowed run diverged: %v vs %v", exact, dir, got, full)
+			}
+			if !reflect.DeepEqual(gotTrace, fullTrace) {
+				t.Errorf("exact=%v %s: full-width windowed trace diverged", exact, dir)
+			}
+			tiled := win
+			tiled.FrameMode = FrameSnapshot
+			tiled.FrameParallel = 2
+			tiled.Tiles = 3
+			ref := win
+			ref.FrameMode = FrameSnapshot
+			ref.FrameParallel = 2
+			wantFP, wantTrace := runTraced(t, ref)
+			gotFP, gotTrace2 := runTraced(t, tiled)
+			if gotFP != wantFP {
+				t.Errorf("exact=%v %s: tiled windowed run diverged from untiled snapshot: %v vs %v", exact, dir, gotFP, wantFP)
+			}
+			if !reflect.DeepEqual(gotTrace2, wantTrace) {
+				t.Errorf("exact=%v %s: tiled windowed trace diverged", exact, dir)
+			}
+		}
+	}
+}
+
+// TestWindowedNarrowRunCompletes exercises a genuinely restricted window (a
+// 4-ring map with a 19-cell window, so retargets actually happen) end to
+// end: the run must stay healthy — traffic served, every user's reduced set
+// inside its window — while using O(users x window) instead of O(users x
+// cells) channel state.
+func TestWindowedNarrowRunCompletes(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Rings = 4 // 61 cells, window covers less than a third
+	cfg.SimTime = 4
+	cfg.DataUsersPerCell = 2
+	cfg.VoiceUsersPerCell = 1
+	cfg.PilotCells = 19
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.winB == nil || e.spix == nil {
+		t.Fatal("PilotCells did not enable the windowed physics")
+	}
+	if e.winB.Width() != 19 {
+		t.Fatalf("window width = %d, want 19", e.winB.Width())
+	}
+	m, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BurstsCompleted == 0 {
+		t.Error("windowed run completed no bursts")
+	}
+	for _, u := range e.users {
+		for _, k := range u.reduced {
+			if cellular.FindCell(u.cand, int32(k)) < 0 {
+				t.Fatalf("user %d reduced-set cell %d outside its candidate window %v", u.id, k, u.cand)
+			}
+		}
+	}
+}
+
+// TestTiledHaloContainment verifies the bound initTiles sizes the halos
+// with: every cell a user's measurements can name (its candidate window)
+// lies inside the span-plus-halo of the tile owning the user's host cell.
+// That is the guarantee that lets a distributed port exchange only the halo
+// loads at frame boundaries.
+func TestTiledHaloContainment(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Rings = 4
+	cfg.SimTime = 2
+	cfg.DataUsersPerCell = 2
+	cfg.VoiceUsersPerCell = 1
+	cfg.PilotCells = 19
+	cfg.FrameMode = FrameSnapshot
+	cfg.FrameParallel = 1
+	cfg.Tiles = 5
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if len(e.tiles) != 5 {
+		t.Fatalf("built %d tiles, want 5", len(e.tiles))
+	}
+	inHalo := make([]map[int]bool, len(e.tiles))
+	for ti, tile := range e.tiles {
+		inHalo[ti] = make(map[int]bool, len(tile.halo))
+		for _, k := range tile.halo {
+			inHalo[ti][k] = true
+		}
+	}
+	frames := int(cfg.SimTime / cfg.FrameLength)
+	for f := 0; f < frames; f++ {
+		e.now = float64(f) * cfg.FrameLength
+		e.step()
+		for _, u := range e.users {
+			ti := e.plan.TileOf(u.hostCell)
+			span := e.plan.Span(ti)
+			for _, c := range u.cand {
+				if !span.Contains(int(c)) && !inHalo[ti][int(c)] {
+					t.Fatalf("frame %d: user %d (host %d, tile %d) window cell %d outside span %+v + halo",
+						f, u.id, u.hostCell, ti, c, span)
+				}
+			}
+		}
+	}
+}
