@@ -11,9 +11,13 @@
 //	curl -X POST localhost:8080/v1/jobs -d '{"kind":"sweep","sweep":{"preset":"smoke","axes":["datausers=2,4"],"reps":2}}'
 //	curl localhost:8080/v1/jobs/job-1/stream
 //
+// With -journal DIR every accepted job spec is persisted until the job
+// settles, and a restarted server re-submits whatever specs are still
+// there — queued and in-flight work survives a crash or redeploy.
+//
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
 // jobs are cancelled at their next frame, and the process exits once the
-// workers settle.
+// workers settle. Jobs cancelled by the drain keep their journal entries.
 package main
 
 import (
@@ -47,15 +51,22 @@ func run(ctx context.Context, args []string) error {
 		queueDepth    = fs.Int("queue-depth", 16, "queued jobs beyond the running ones before submissions get 429")
 		workers       = fs.Int("workers", 2, "jobs run concurrently; each job's fan-out defaults to GOMAXPROCS/workers")
 		oracleWorkers = fs.Int("oracle-workers", 2, "resident warm JABA-SD solver instances (bounds concurrent oracle solves)")
+		journalDir    = fs.String("journal", "", "directory persisting accepted job specs until they settle; on start, unsettled jobs found there are re-submitted")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			return err
+		}
 	}
 
 	srv := serve.New(serve.Options{
 		QueueDepth:    *queueDepth,
 		Workers:       *workers,
 		OracleWorkers: *oracleWorkers,
+		JournalDir:    *journalDir,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

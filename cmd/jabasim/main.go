@@ -7,6 +7,10 @@
 //	jabasim -config scenario.json
 //	jabasim -preset baseline -dump-config > scenario.json
 //	jabasim -preset smoke -trace trace.csv -trace-every 10
+//	jabasim -preset smoke -checkpoint state.ckpt -checkpoint-every 50
+//	jabasim -resume state.ckpt
+//	jabasim -preset smoke -solve-trace solves.jsonl
+//	jabasim -replay solves.jsonl -scheduler jaba-sd-greedy -replay-out grants.csv
 //
 // The -preset flag selects a named scenario (see -list-presets); -config
 // loads a JSON file produced by -dump-config. Individual flags override the
@@ -20,6 +24,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -31,6 +36,7 @@ import (
 	"syscall"
 
 	"jabasd/internal/jobspec"
+	"jabasd/internal/replay"
 	"jabasd/internal/scenario"
 	"jabasd/internal/sim"
 	"jabasd/internal/trace"
@@ -69,9 +75,21 @@ func run(ctx context.Context, args []string) error {
 		exactVTAOC  = fs.Bool("exact-vtaoc", false, "bit-exact reference physics: exact VTAOC integral, scalar-equivalent channel kernels, full region rebuilds (golden-output mode; default is the fast SoA path)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProfile  = fs.String("memprofile", "", "write a heap profile (allocation attribution) to this file when the simulation finishes")
+		ckptPath    = fs.String("checkpoint", "", "write a versioned engine-state checkpoint to this file (atomically) every -checkpoint-every frames; requires -reps 1")
+		ckptEvery   = fs.Int("checkpoint-every", 0, "checkpoint cadence in frames (required with -checkpoint)")
+		resumePath  = fs.String("resume", "", "resume from this checkpoint file; the scenario comes from the checkpoint, so -preset/-config must be unset (execution knobs like -frameparallel still apply)")
+		solveTrace  = fs.String("solve-trace", "", "record every (frame, cell) scheduling problem and its grants to this JSONL file for later -replay; requires -reps 1")
+		replayPath  = fs.String("replay", "", "re-solve a recorded solve trace instead of simulating: grants go to -replay-out; -scheduler overrides the recorded policy for a counterfactual")
+		replayOut   = fs.String("replay-out", "", "grants CSV file for -replay (default stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *replayPath != "" {
+		if *resumePath != "" || *ckptPath != "" {
+			return fmt.Errorf("-replay re-solves a recorded trace; it cannot combine with -checkpoint/-resume")
+		}
+		return runReplay(*replayPath, *scheduler, *replayOut)
 	}
 	if *listPresets {
 		for _, n := range scenario.Names() {
@@ -84,13 +102,19 @@ func run(ctx context.Context, args []string) error {
 	// other tools and the jabaserve HTTP API all resolve scenarios through
 	// the same layering and conflict rules.
 	spec := jobspec.RunSpec{Reps: *reps}
-	if *configPath != "" {
-		presetSet := false
-		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "preset" {
-				presetSet = true
-			}
-		})
+	presetSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "preset" {
+			presetSet = true
+		}
+	})
+	switch {
+	case *resumePath != "":
+		// The checkpoint itself is the scenario.
+		if presetSet || *configPath != "" {
+			return fmt.Errorf("-resume takes its scenario from the checkpoint; drop -preset/-config")
+		}
+	case *configPath != "":
 		if presetSet {
 			return fmt.Errorf("-preset and -config are exclusive; drop one")
 		}
@@ -99,8 +123,11 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		spec.Config = data
-	} else {
+	default:
 		spec.Preset = *preset
+	}
+	if *ckptPath != "" || *ckptEvery != 0 || *resumePath != "" {
+		spec.Checkpoint = &jobspec.CheckpointSpec{Path: *ckptPath, Every: *ckptEvery, Resume: *resumePath}
 	}
 	spec.Overrides = jobspec.Overrides{
 		Scheduler: *scheduler,
@@ -212,8 +239,46 @@ func run(ctx context.Context, args []string) error {
 		return nil
 	}
 
+	if *solveTrace != "" && nreps > 1 {
+		return fmt.Errorf("-solve-trace records one engine; use -reps 1")
+	}
+	var solveFile *os.File
+	var solveBuf *bufio.Writer
+	if *solveTrace != "" {
+		f, err := os.Create(*solveTrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		solveFile = f
+		solveBuf = bufio.NewWriter(f)
+		cfg.SolveTrace = solveBuf
+	}
+	closeSolveTrace := func() error {
+		if solveFile == nil {
+			return nil
+		}
+		if err := solveBuf.Flush(); err != nil {
+			return err
+		}
+		if err := solveFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "solve trace written to %s\n", *solveTrace)
+		return nil
+	}
+
 	if nreps <= 1 {
-		m, err := sim.Run(ctx, cfg)
+		// Start (rather than sim.Run) honours the checkpoint spec: a fresh
+		// engine normally, the restored one when resuming.
+		e, err := spec.Start(cfg)
+		if err != nil {
+			return err
+		}
+		if f := e.Frame(); f > 0 {
+			fmt.Fprintf(os.Stderr, "resumed at frame %d\n", f)
+		}
+		m, err := e.Run(ctx)
 		if err != nil {
 			return err
 		}
@@ -221,6 +286,9 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		if err := closeTrace(); err != nil {
+			return err
+		}
+		if err := closeSolveTrace(); err != nil {
 			return err
 		}
 		printMetrics(m)
@@ -244,6 +312,60 @@ func run(ctx context.Context, args []string) error {
 	fmt.Printf("  mean cell load    : %.3f\n", agg.CellLoad.Mean())
 	fmt.Printf("  completion ratio  : %.3f\n", agg.CompletionRate.Mean())
 	printSkippedCells(agg.SkippedCells.Mean())
+	return nil
+}
+
+// runReplay re-solves a recorded solve trace without simulating: each
+// recorded (frame, cell) problem is scheduled against its recorded requests
+// and admissible region, under the recorded policy or — for a
+// counterfactual — the -scheduler override, and the grants go out as a CSV
+// that diffs row-for-row against any other replay of the same trace.
+func runReplay(path, scheduler, outPath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr, problems, err := replay.ReadTrace(bufio.NewReader(f))
+	if err != nil {
+		return err
+	}
+	kind := hdr.Scheduler
+	if scheduler != "" {
+		kind = scheduler
+	}
+	sched, err := sim.NewScheduler(sim.SchedulerKind(kind), hdr.Seed)
+	if err != nil {
+		return err
+	}
+	assignments, err := replay.Resolve(hdr, problems, sched, hdr.Objective)
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if outPath != "" {
+		g, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		out = g
+	}
+	w := bufio.NewWriter(out)
+	if err := replay.WriteGrantsCSV(w, problems, assignments); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := out.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "replayed %d problems under %s (recorded under %s)\n",
+		len(problems), kind, hdr.Scheduler)
 	return nil
 }
 

@@ -142,3 +142,105 @@ func TestRunTraceErrors(t *testing.T) {
 		t.Error("unwritable -trace path should fail")
 	}
 }
+
+func TestRunCheckpointAndResume(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "state.ckpt")
+	base := []string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-seed", "5"}
+	// 3 s / 20 ms = 150 frames; every 50 leaves the final checkpoint at 150.
+	if err := run(context.Background(), append(base, "-checkpoint", ck, "-checkpoint-every", "50")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+	// The scenario comes from the checkpoint; no -preset needed (or allowed).
+	if err := run(context.Background(), []string{"-resume", ck}); err != nil {
+		t.Fatal(err)
+	}
+	// Execution knobs may still change across a resume.
+	if err := run(context.Background(), []string{"-resume", ck, "-frameparallel", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCheckpointErrors(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "state.ckpt")
+	cases := [][]string{
+		{"-preset", "smoke", "-checkpoint", ck},         // missing cadence
+		{"-preset", "smoke", "-checkpoint-every", "50"}, // missing path
+		{"-preset", "smoke", "-reps", "2", "-checkpoint", ck, "-checkpoint-every", "10"},
+		{"-resume", filepath.Join(dir, "missing.ckpt")},
+		{"-preset", "smoke", "-resume", ck}, // resume excludes an explicit scenario
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestRunSolveTraceAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	solves := filepath.Join(dir, "solves.jsonl")
+	args := []string{"-preset", "smoke", "-sim-time", "3", "-data-users", "3", "-seed", "9", "-solve-trace", solves}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(solves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[0] != '{' {
+		t.Fatalf("expected a JSONL solve trace, got %q", string(data[:min(len(data), 40)]))
+	}
+
+	// Replaying under the recorded policy and under a counterfactual one
+	// produces line-aligned grants files.
+	recorded := filepath.Join(dir, "recorded.csv")
+	if err := run(context.Background(), []string{"-replay", solves, "-replay-out", recorded}); err != nil {
+		t.Fatal(err)
+	}
+	counter := filepath.Join(dir, "greedy.csv")
+	if err := run(context.Background(), []string{"-replay", solves, "-scheduler", "jaba-sd-greedy", "-replay-out", counter}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(recorded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(a), "frame,cell,user,ratio\n") {
+		t.Fatalf("unexpected grants header %q", strings.SplitN(string(a), "\n", 2)[0])
+	}
+	if la, lb := strings.Count(string(a), "\n"), strings.Count(string(b), "\n"); la != lb {
+		t.Fatalf("grants files are not line-aligned: %d vs %d rows", la, lb)
+	}
+}
+
+func TestRunSolveTraceAndReplayErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"-preset", "smoke", "-reps", "2", "-solve-trace", filepath.Join(dir, "s.jsonl")},
+		{"-replay", filepath.Join(dir, "missing.jsonl")},
+		{"-replay", filepath.Join(dir, "missing.jsonl"), "-resume", filepath.Join(dir, "x.ckpt")},
+		{"-replay", filepath.Join(dir, "missing.jsonl"), "-checkpoint", filepath.Join(dir, "x.ckpt")},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+	// A replay with an unknown scheduler fails even on a valid trace.
+	solves := filepath.Join(dir, "solves.jsonl")
+	if err := run(context.Background(), []string{"-preset", "smoke", "-sim-time", "3", "-data-users", "2", "-solve-trace", solves}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-replay", solves, "-scheduler", "bogus"}); err == nil {
+		t.Error("replay with unknown scheduler should fail")
+	}
+}

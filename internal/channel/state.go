@@ -1,0 +1,51 @@
+package channel
+
+import "jabasd/internal/checkpoint"
+
+// EncodeState appends the batch's mutable channel state: shadowing, gains,
+// the epsilon baseline, the per-user readiness flags and every shadowing
+// substream. The distance rows are per-frame scratch (refilled before every
+// advance that reads them) and are deliberately not part of the state.
+func (b *Batch) EncodeState(w *checkpoint.Writer) {
+	w.Int(b.users)
+	w.Int(b.cells)
+	w.F64s(b.shadowDB)
+	w.F64s(b.gain)
+	w.F64s(b.ref)
+	w.Bools(b.ready)
+	for i := range b.src {
+		b.src[i].EncodeState(w)
+	}
+}
+
+// DecodeState restores the state written by EncodeState into the existing
+// batch in place, so rows handed out by GainRow keep aliasing the restored
+// storage. The batch must have the same users x cells dimensions.
+func (b *Batch) DecodeState(rd *checkpoint.Reader) {
+	users, cells := rd.Int(), rd.Int()
+	if users != b.users || cells != b.cells {
+		rd.Fail("channel batch is %dx%d, checkpoint %dx%d", b.users, b.cells, users, cells)
+		return
+	}
+	rd.FillF64s(b.shadowDB)
+	rd.FillF64s(b.gain)
+	rd.FillF64s(b.ref)
+	rd.FillBools(b.ready)
+	for i := range b.src {
+		b.src[i].DecodeState(rd)
+	}
+}
+
+// EncodeState appends the windowed state: the embedded batch (whose cell
+// dimension is the window width) plus the slot-to-cell map.
+func (w *Window) EncodeState(cw *checkpoint.Writer) {
+	w.Batch.EncodeState(cw)
+	cw.I32s(w.cells)
+}
+
+// DecodeState restores the state written by EncodeState in place, so rows
+// handed out by CellRow keep aliasing the restored storage.
+func (w *Window) DecodeState(rd *checkpoint.Reader) {
+	w.Batch.DecodeState(rd)
+	rd.FillI32s(w.cells)
+}

@@ -142,33 +142,114 @@ func (o Overrides) axisConflicts() map[string]bool {
 	return c
 }
 
-// RunSpec describes one simulation: a base scenario, overrides and a
-// replication count.
+// CheckpointSpec adds checkpoint/resume behaviour to a run: write a
+// versioned snapshot of the engine state to Path every Every frames
+// (atomically — a crash never leaves a torn file), and/or start the run
+// from the snapshot at Resume instead of frame 0. A checkpoint captures
+// exactly one engine, so a spec carrying one requires Reps <= 1; a resumed
+// scenario comes from the checkpoint itself, so Resume excludes Preset and
+// Config. Overrides still apply on resume, but only the non-semantic
+// execution knobs pass the checkpoint's config-hash check — a semantic
+// change is refused at resolution time.
+type CheckpointSpec struct {
+	// Path is the checkpoint file to write; requires Every > 0.
+	Path string `json:"path,omitempty"`
+	// Every is the checkpoint cadence in frames.
+	Every int `json:"every,omitempty"`
+	// Resume is a checkpoint file to start from.
+	Resume string `json:"resume,omitempty"`
+}
+
+func (c *CheckpointSpec) validate(reps int) error {
+	var errs []error
+	if c.Path == "" && c.Resume == "" {
+		errs = append(errs, errors.New("jobspec: checkpoint spec needs a path to write and/or a checkpoint to resume"))
+	}
+	if (c.Path != "") != (c.Every > 0) {
+		errs = append(errs, errors.New("jobspec: checkpoint path and a positive cadence (every) go together"))
+	}
+	if reps > 1 {
+		errs = append(errs, fmt.Errorf("jobspec: a checkpoint captures one engine; it cannot describe %d replications", reps))
+	}
+	return errors.Join(errs...)
+}
+
+// RunSpec describes one simulation: a base scenario, overrides, a
+// replication count and optional checkpoint/resume behaviour.
 type RunSpec struct {
 	Scenario
 	Overrides Overrides `json:"overrides"`
 	// Reps is the number of independent replications (0 and 1 both mean a
 	// single run).
 	Reps int `json:"reps,omitempty"`
+	// Checkpoint, when set, makes the run checkpointable and/or resumed.
+	Checkpoint *CheckpointSpec `json:"checkpoint,omitempty"`
 }
 
-// Resolve produces the validated configuration and replication count.
+// Resolve produces the validated configuration and replication count. For a
+// resuming spec the base scenario is the checkpoint's own stored config and
+// the compatibility of the overridden result is checked here, so a bad
+// resume fails at submission rather than inside a worker; the (single-shot)
+// checkpoint file is read again by Start.
 func (s RunSpec) Resolve() (sim.Config, int, error) {
-	cfg, err := s.Scenario.Resolve()
-	if err != nil {
-		return sim.Config{}, 0, err
-	}
-	if err := s.Overrides.Apply(&cfg); err != nil {
-		return sim.Config{}, 0, err
-	}
 	reps := s.Reps
 	if reps <= 0 {
 		reps = 1
+	}
+	var cfg sim.Config
+	if s.Checkpoint != nil {
+		if err := s.Checkpoint.validate(reps); err != nil {
+			return sim.Config{}, 0, err
+		}
+	}
+	if s.Checkpoint != nil && s.Checkpoint.Resume != "" {
+		if s.Preset != "" || len(s.Config) > 0 {
+			return sim.Config{}, 0, errors.New("jobspec: a resumed run takes its scenario from the checkpoint; drop preset/config")
+		}
+		ck, err := sim.ReadCheckpointFile(s.Checkpoint.Resume)
+		if err != nil {
+			return sim.Config{}, 0, err
+		}
+		cfg = ck.Config()
+		if err := s.Overrides.Apply(&cfg); err != nil {
+			return sim.Config{}, 0, err
+		}
+		if err := ck.Compatible(cfg); err != nil {
+			return sim.Config{}, 0, err
+		}
+	} else {
+		var err error
+		cfg, err = s.Scenario.Resolve()
+		if err != nil {
+			return sim.Config{}, 0, err
+		}
+		if err := s.Overrides.Apply(&cfg); err != nil {
+			return sim.Config{}, 0, err
+		}
+	}
+	if s.Checkpoint != nil && s.Checkpoint.Path != "" {
+		cfg.CheckpointEvery = s.Checkpoint.Every
+		cfg.CheckpointSink = sim.FileCheckpointSink(s.Checkpoint.Path)
 	}
 	if err := cfg.Validate(); err != nil {
 		return sim.Config{}, 0, err
 	}
 	return cfg, reps, nil
+}
+
+// Start builds the engine for a resolved single run: resumed from the
+// spec's checkpoint when one is named, fresh otherwise. cfg must be the
+// Resolve result, possibly with trace sinks attached — attaching a sink
+// never changes the semantic hash the resume is checked against.
+func (s RunSpec) Start(cfg sim.Config) (*sim.Engine, error) {
+	if s.Checkpoint != nil && s.Checkpoint.Resume != "" {
+		ck, err := sim.ReadCheckpointFile(s.Checkpoint.Resume)
+		if err != nil {
+			return nil, err
+		}
+		return ck.Resume(cfg)
+	}
+	return sim.NewEngine(cfg)
 }
 
 // SweepSpec describes a parameter sweep: a named grid, or a base scenario

@@ -1,7 +1,9 @@
 package jobspec
 
 import (
+	"context"
 	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -188,5 +190,69 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 	}
 	if cfg.Scheduler != sim.SchedulerFCFS || cfg.Seed != 5 || reps != 2 {
 		t.Errorf("resolved %+v reps=%d", cfg, reps)
+	}
+}
+
+func TestRunSpecCheckpointResolve(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "state.ckpt")
+
+	// A writing spec attaches the cadence and the file sink.
+	spec := RunSpec{
+		Scenario:   Scenario{Preset: "smoke"},
+		Overrides:  Overrides{SimTime: 3},
+		Checkpoint: &CheckpointSpec{Path: ck, Every: 25},
+	}
+	cfg, reps, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps != 1 || cfg.CheckpointEvery != 25 || cfg.CheckpointSink == nil {
+		t.Fatalf("resolved reps=%d every=%d sink=%v", reps, cfg.CheckpointEvery, cfg.CheckpointSink != nil)
+	}
+
+	// Produce a real checkpoint, then resolve a resuming spec against it.
+	e, err := spec.Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res := RunSpec{Checkpoint: &CheckpointSpec{Resume: ck}}
+	rcfg, _, err := res.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcfg.SimTime != cfg.SimTime {
+		t.Fatalf("resumed config lost the scenario: SimTime %v, want %v", rcfg.SimTime, cfg.SimTime)
+	}
+	re, err := res.Start(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Frame() == 0 {
+		t.Fatal("resumed engine starts at frame 0")
+	}
+	if _, err := re.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := map[string]RunSpec{
+		"empty-spec":      {Scenario: Scenario{Preset: "smoke"}, Checkpoint: &CheckpointSpec{}},
+		"path-sans-every": {Scenario: Scenario{Preset: "smoke"}, Checkpoint: &CheckpointSpec{Path: ck}},
+		"every-sans-path": {Scenario: Scenario{Preset: "smoke"}, Checkpoint: &CheckpointSpec{Every: 10}},
+		"reps":            {Scenario: Scenario{Preset: "smoke"}, Reps: 2, Checkpoint: &CheckpointSpec{Path: ck, Every: 10}},
+		"resume+preset":   {Scenario: Scenario{Preset: "smoke"}, Checkpoint: &CheckpointSpec{Resume: ck}},
+		"semantic-override": {
+			Overrides:  Overrides{Seed: 99},
+			Checkpoint: &CheckpointSpec{Resume: ck},
+		},
+		"missing-file": {Checkpoint: &CheckpointSpec{Resume: filepath.Join(dir, "missing.ckpt")}},
+	}
+	for name, s := range bad {
+		if _, _, err := s.Resolve(); err == nil {
+			t.Errorf("%s: should fail to resolve", name)
+		}
 	}
 }

@@ -1,0 +1,23 @@
+package mac
+
+import "jabasd/internal/checkpoint"
+
+// EncodeState appends the machine's mutable state (the configuration is
+// rebuilt from the scenario, not serialized).
+func (m *Machine) EncodeState(w *checkpoint.Writer) {
+	w.Int(int(m.state))
+	w.F64(m.idleSince)
+	w.F64(m.lastTime)
+}
+
+// DecodeState restores the state written by EncodeState.
+func (m *Machine) DecodeState(rd *checkpoint.Reader) {
+	s := State(rd.Int())
+	if s < Active || s > Dormant {
+		rd.Fail("invalid MAC state %d", int(s))
+		return
+	}
+	m.state = s
+	m.idleSince = rd.F64()
+	m.lastTime = rd.F64()
+}

@@ -1,0 +1,64 @@
+package mobility
+
+import "jabasd/internal/checkpoint"
+
+// EncodeState appends every user's mutable waypoint state: position,
+// destination, speed, remaining pause, travel flag and draw stream. The
+// region and speed bounds are construction parameters.
+func (b *WaypointBatch) EncodeState(w *checkpoint.Writer) {
+	w.Int(len(b.src))
+	for i := range b.src {
+		b.src[i].EncodeState(w)
+		w.F64(b.pos[i].X)
+		w.F64(b.pos[i].Y)
+		w.F64(b.dest[i].X)
+		w.F64(b.dest[i].Y)
+		w.F64(b.speed[i])
+		w.F64(b.pause[i])
+		w.Bool(b.travelling[i])
+	}
+}
+
+// DecodeState restores the state written by EncodeState into the existing
+// batch, which must have the same user count.
+func (b *WaypointBatch) DecodeState(rd *checkpoint.Reader) {
+	if n := rd.Int(); n != len(b.src) {
+		rd.Fail("waypoint batch has %d users, checkpoint %d", len(b.src), n)
+		return
+	}
+	for i := range b.src {
+		b.src[i].DecodeState(rd)
+		b.pos[i].X = rd.F64()
+		b.pos[i].Y = rd.F64()
+		b.dest[i].X = rd.F64()
+		b.dest[i].Y = rd.F64()
+		b.speed[i] = rd.F64()
+		b.pause[i] = rd.F64()
+		b.travelling[i] = rd.Bool()
+	}
+}
+
+// EncodeState appends the scalar waypoint model's mutable state (the voice
+// users' mobility), mirroring WaypointBatch.EncodeState per user.
+func (m *RandomWaypoint) EncodeState(w *checkpoint.Writer) {
+	m.src.EncodeState(w)
+	w.F64(m.pos.X)
+	w.F64(m.pos.Y)
+	w.F64(m.dest.X)
+	w.F64(m.dest.Y)
+	w.F64(m.speed)
+	w.F64(m.pause)
+	w.Bool(m.travelling)
+}
+
+// DecodeState restores the state written by EncodeState.
+func (m *RandomWaypoint) DecodeState(rd *checkpoint.Reader) {
+	m.src.DecodeState(rd)
+	m.pos.X = rd.F64()
+	m.pos.Y = rd.F64()
+	m.dest.X = rd.F64()
+	m.dest.Y = rd.F64()
+	m.speed = rd.F64()
+	m.pause = rd.F64()
+	m.travelling = rd.Bool()
+}

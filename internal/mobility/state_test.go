@@ -1,0 +1,122 @@
+package mobility
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"jabasd/internal/checkpoint"
+	"jabasd/internal/rng"
+)
+
+// snapshot round-trips enc into dec through a one-section stream.
+func snapshot(t *testing.T, enc func(*checkpoint.Writer), dec func(*checkpoint.Reader)) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := checkpoint.NewWriter(&buf)
+	w.Section("mob")
+	enc(w)
+	if err := w.Close(); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	r, err := checkpoint.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if err := r.Section("mob"); err != nil {
+		t.Fatal(err)
+	}
+	dec(r)
+	if err := r.Close(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+// TestWaypointBatchStateRoundTrip advances a batch mid-journey, snapshots
+// it into a freshly constructed batch and compares every user's trajectory
+// bit for bit afterwards (positions, travel distances and speeds all ride
+// the restored draw streams).
+func TestWaypointBatchStateRoundTrip(t *testing.T) {
+	region := Region{Width: 2000, Height: 1800, Wrap: true}
+	const n = 6
+	parent := rng.New(77)
+	orig := NewWaypointBatch(region, 1, 20, 30, n)
+	for i := 0; i < n; i++ {
+		orig.SeedUser(i, parent.Split(uint64(i)))
+	}
+	const dt = 0.5
+	for step := 0; step < 200; step++ {
+		for i := 0; i < n; i++ {
+			orig.Advance(i, dt)
+		}
+	}
+
+	restored := NewWaypointBatch(region, 1, 20, 30, n) // unseeded: decode overwrites
+	snapshot(t, orig.EncodeState, restored.DecodeState)
+
+	for step := 0; step < 2000; step++ {
+		for i := 0; i < n; i++ {
+			a := orig.Advance(i, dt)
+			b := restored.Advance(i, dt)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("user %d: travel diverged at step %d: %v vs %v", i, step, a, b)
+			}
+			pa, pb := orig.Position(i), restored.Position(i)
+			if math.Float64bits(pa.X) != math.Float64bits(pb.X) || math.Float64bits(pa.Y) != math.Float64bits(pb.Y) {
+				t.Fatalf("user %d: position diverged at step %d: %v vs %v", i, step, pa, pb)
+			}
+		}
+	}
+}
+
+func TestWaypointBatchDecodeRejectsSizeMismatch(t *testing.T) {
+	region := Region{Width: 100, Height: 100}
+	orig := NewWaypointBatch(region, 1, 5, 10, 3)
+	for i := 0; i < 3; i++ {
+		orig.SeedUser(i, rng.New(uint64(i+1)))
+	}
+	var buf bytes.Buffer
+	w := checkpoint.NewWriter(&buf)
+	w.Section("mob")
+	orig.EncodeState(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	smaller := NewWaypointBatch(region, 1, 5, 10, 2)
+	r, err := checkpoint.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Section("mob"); err != nil {
+		t.Fatal(err)
+	}
+	smaller.DecodeState(r)
+	if r.Err() == nil {
+		t.Fatal("user-count mismatch not rejected")
+	}
+}
+
+// TestRandomWaypointStateRoundTrip is the scalar (voice-user) counterpart.
+func TestRandomWaypointStateRoundTrip(t *testing.T) {
+	region := Region{Width: 1500, Height: 1500}
+	orig := NewRandomWaypoint(rng.New(11), region, 0.5, 15, 30)
+	const dt = 0.5
+	for step := 0; step < 300; step++ {
+		orig.Advance(dt)
+	}
+
+	restored := NewRandomWaypoint(rng.New(99), region, 0.5, 15, 30)
+	snapshot(t, orig.EncodeState, restored.DecodeState)
+
+	for step := 0; step < 3000; step++ {
+		a := orig.Advance(dt)
+		b := restored.Advance(dt)
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("travel diverged at step %d: %v vs %v", step, a, b)
+		}
+		pa, pb := orig.Position(), restored.Position()
+		if math.Float64bits(pa.X) != math.Float64bits(pb.X) || math.Float64bits(pa.Y) != math.Float64bits(pb.Y) {
+			t.Fatalf("position diverged at step %d: %v vs %v", step, pa, pb)
+		}
+	}
+}

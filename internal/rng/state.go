@@ -1,0 +1,23 @@
+package rng
+
+import "jabasd/internal/checkpoint"
+
+// EncodeState appends the source's complete mutable state — the xoshiro
+// words and the cached Box-Muller spare — so a decoded source continues the
+// stream bit for bit.
+func (r *Source) EncodeState(w *checkpoint.Writer) {
+	for _, s := range r.s {
+		w.U64(s)
+	}
+	w.F64(r.spare)
+	w.Bool(r.hasSpare)
+}
+
+// DecodeState restores the state written by EncodeState.
+func (r *Source) DecodeState(rd *checkpoint.Reader) {
+	for i := range r.s {
+		r.s[i] = rd.U64()
+	}
+	r.spare = rd.F64()
+	r.hasSpare = rd.Bool()
+}

@@ -1,0 +1,54 @@
+package rng
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"jabasd/internal/checkpoint"
+)
+
+// TestSourceStateRoundTrip checks that a decoded source continues its
+// stream bit for bit — including the cached Box-Muller spare, so the parity
+// of prior StdNormal calls is part of the state.
+func TestSourceStateRoundTrip(t *testing.T) {
+	for _, normals := range []int{0, 1, 2, 7} {
+		src := New(12345)
+		for i := 0; i < 50; i++ {
+			src.Uint64()
+		}
+		for i := 0; i < normals; i++ {
+			src.StdNormal()
+		}
+
+		var buf bytes.Buffer
+		w := checkpoint.NewWriter(&buf)
+		w.Section("rng")
+		src.EncodeState(w)
+		if err := w.Close(); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+
+		restored := New(999) // deliberately different state, fully overwritten
+		r, err := checkpoint.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("NewReader: %v", err)
+		}
+		if err := r.Section("rng"); err != nil {
+			t.Fatal(err)
+		}
+		restored.DecodeState(r)
+		if err := r.Close(); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+
+		for i := 0; i < 100; i++ {
+			if a, b := src.StdNormal(), restored.StdNormal(); math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("normals=%d: StdNormal diverged at draw %d: %v vs %v", normals, i, a, b)
+			}
+			if a, b := src.Uint64(), restored.Uint64(); a != b {
+				t.Fatalf("normals=%d: Uint64 diverged at draw %d: %#x vs %#x", normals, i, a, b)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -97,9 +98,14 @@ type Job struct {
 	work   runnable
 	ctx    context.Context
 	cancel context.CancelFunc
+	// journal is the job's crash-recovery record (empty when journaling is
+	// off); it is removed once the job settles — except on server shutdown,
+	// where an unfinished job's record survives for the next process.
+	journal string
 
 	mu       sync.Mutex
 	state    JobState
+	userStop bool // cancelled through the API, not by server shutdown
 	err      string
 	rows     []row
 	result   json.RawMessage
@@ -153,7 +159,22 @@ func (j *Job) finish(err error, result json.RawMessage) {
 	}
 	j.finished = time.Now()
 	j.broadcast()
+	j.dropJournalLocked()
 	j.mu.Unlock()
+}
+
+// dropJournalLocked removes the job's crash-recovery record once it settles.
+// A cancellation that did not come through the API is the server shutting
+// down — the job did not finish, so its record survives for the restart.
+// Callers hold j.mu.
+func (j *Job) dropJournalLocked() {
+	if j.journal == "" {
+		return
+	}
+	if j.state == StateCancelled && !j.userStop {
+		return
+	}
+	os.Remove(j.journal)
 }
 
 // status snapshots the job for the JSON views.
@@ -213,6 +234,29 @@ func resolveRun(spec jobspec.RunSpec) (runnable, error) {
 	cfg, reps, err := spec.Resolve()
 	if err != nil {
 		return runnable{}, err
+	}
+	if spec.Checkpoint != nil {
+		// Checkpoint-bearing runs drive a single engine directly, so the
+		// periodic sink sees the one engine there is and a resume starts it
+		// from the recorded frame; the result is that run's metrics object.
+		return runnable{
+			run: func(ctx context.Context, j *Job) error {
+				e, err := spec.Start(cfg)
+				if err != nil {
+					return err
+				}
+				m, err := e.Run(ctx)
+				if err != nil {
+					return err
+				}
+				result, err := json.Marshal(m)
+				if err != nil {
+					return err
+				}
+				j.finish(nil, result)
+				return nil
+			},
+		}, nil
 	}
 	return runnable{
 		run: func(ctx context.Context, j *Job) error {

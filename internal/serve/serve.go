@@ -25,10 +25,14 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 
@@ -49,6 +53,13 @@ type Options struct {
 	// OracleWorkers is the number of resident warm JABA-SD solver
 	// instances, which bounds concurrent oracle solves (default 2).
 	OracleWorkers int
+	// JournalDir, when set, persists every accepted JobSpec as
+	// <JournalDir>/<id>.json until the job settles, and New re-submits any
+	// specs found there — so jobs that were queued or running when the
+	// process died are re-run after a restart. Jobs cancelled by server
+	// shutdown keep their journal entry (they did not finish); jobs
+	// cancelled through the API drop it.
+	JournalDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -104,7 +115,104 @@ func New(opts Options) *Server {
 	for i := 0; i < opts.Workers; i++ {
 		go s.worker()
 	}
+	if opts.JournalDir != "" {
+		s.recoverJournal()
+	}
 	return s
+}
+
+// recoverJournal re-submits the specs of jobs that had not settled when the
+// previous process exited. Files that do not resolve (or no longer fit the
+// queue) are left in place for the operator — recovery never destroys a
+// spec it could not re-run.
+func (s *Server) recoverJournal() {
+	entries, err := os.ReadDir(s.opts.JournalDir)
+	if err != nil {
+		return
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(s.opts.JournalDir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var spec JobSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			continue
+		}
+		j, err := s.submit(spec)
+		if err != nil {
+			continue
+		}
+		// The resubmitted job journals under its own (new) id; drop the old
+		// entry unless the names happen to coincide.
+		if j.journal != path {
+			os.Remove(path)
+		}
+	}
+}
+
+// Submission failure modes the HTTP layer maps to distinct status codes.
+var (
+	errShuttingDown = errors.New("serve: server is shutting down")
+	errQueueFull    = errors.New("serve: job queue full")
+)
+
+// submit resolves, registers, journals and enqueues one job.
+func (s *Server) submit(spec JobSpec) (*Job, error) {
+	work, err := spec.resolve(s.jobParallel)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errShuttingDown
+	}
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := newJob(id, spec, work, ctx, cancel)
+	if s.opts.JournalDir != "" {
+		// Journal before enqueueing: once a worker can see the job its
+		// crash-recovery record must already exist.
+		j.journal = filepath.Join(s.opts.JournalDir, id+".json")
+		data, err := json.Marshal(spec)
+		if err == nil {
+			err = os.WriteFile(j.journal, data, 0o644)
+		}
+		if err != nil {
+			s.nextID--
+			s.mu.Unlock()
+			cancel()
+			return nil, fmt.Errorf("serve: journaling job: %w", err)
+		}
+	}
+	// Registration and enqueueing happen under one lock so a full queue
+	// leaves no orphaned job behind.
+	select {
+	case s.queue <- j:
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		s.mu.Unlock()
+		return j, nil
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		cancel()
+		if j.journal != "" {
+			os.Remove(j.journal)
+		}
+		return nil, errQueueFull
+	}
 }
 
 // Handler returns the HTTP handler serving the /v1 API.
@@ -221,36 +329,17 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode job spec: %v", err)
 		return
 	}
-	work, err := spec.resolve(s.jobParallel)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
-		return
-	}
-	s.nextID++
-	id := fmt.Sprintf("job-%d", s.nextID)
-	ctx, cancel := context.WithCancel(s.baseCtx)
-	j := newJob(id, spec, work, ctx, cancel)
-	// Registration and enqueueing happen under one lock so a full queue
-	// leaves no orphaned job behind.
-	select {
-	case s.queue <- j:
-		s.jobs[id] = j
-		s.order = append(s.order, id)
-		s.mu.Unlock()
+	j, err := s.submit(spec)
+	switch {
+	case err == nil:
 		writeJSON(w, http.StatusAccepted, j.status())
-	default:
-		s.nextID--
-		s.mu.Unlock()
-		cancel()
+	case errors.Is(err, errShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	case errors.Is(err, errQueueFull):
 		writeError(w, http.StatusTooManyRequests,
 			"job queue full (%d queued); retry later or raise -queue-depth", s.opts.QueueDepth)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
 	}
 }
 
@@ -288,12 +377,14 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.mu.Lock()
+	j.userStop = true
 	if j.state == StateQueued {
 		// The worker will skip it; settle the state now so the cancel is
 		// visible immediately.
 		j.state = StateCancelled
 		j.err = context.Canceled.Error()
 		j.broadcast()
+		j.dropJournalLocked()
 	}
 	j.mu.Unlock()
 	j.cancel() // running jobs notice at the next frame boundary

@@ -639,3 +639,107 @@ func BenchmarkDirectSweep(b *testing.B) {
 		}
 	}
 }
+
+// quickRunSpec is a single run that finishes in well under a second.
+const quickRunSpec = `{"kind":"run","run":{"preset":"smoke","overrides":{"sim_time":3,"data_users":2}}}`
+
+// listJobs fetches the job list.
+func listJobs(t *testing.T, ts *httptest.Server) []JobStatus {
+	t.Helper()
+	code, body := get(t, ts.URL+"/v1/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("list returned %d: %s", code, body)
+	}
+	var out []JobStatus
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestJobJournalLifecycle: an accepted job's spec is journaled until the job
+// settles, and a settled job leaves nothing behind.
+func TestJobJournalLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Options{Workers: 1, JournalDir: dir})
+	id := submit(t, ts, quickRunSpec)
+	waitState(t, ts, id, StateDone)
+	// The journal entry is removed under the same lock that publishes the
+	// terminal state, so observing done means the file is already gone.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("journal not drained after completion: %d entries left", len(entries))
+	}
+}
+
+// TestJobJournalRecovery: a spec left behind by a dead process is re-submitted
+// on start, runs to completion and drains the journal.
+func TestJobJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "job-7.json"), []byte(quickRunSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{Workers: 1, JournalDir: dir})
+	jobs := listJobs(t, ts)
+	if len(jobs) != 1 {
+		t.Fatalf("recovered %d jobs, want 1", len(jobs))
+	}
+	waitState(t, ts, jobs[0].ID, StateDone)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("journal not drained after recovery: %d entries left", len(entries))
+	}
+}
+
+// TestJobJournalSkipsBadSpec: an unresolvable journal entry is left in place
+// for the operator, never deleted or turned into a job.
+func TestJobJournalSkipsBadSpec(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "job-1.json")
+	if err := os.WriteFile(bad, []byte(`{"kind":"run","run":{"preset":"no-such-preset"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{Workers: 1, JournalDir: dir})
+	if jobs := listJobs(t, ts); len(jobs) != 0 {
+		t.Fatalf("bad journal entry produced %d jobs", len(jobs))
+	}
+	if _, err := os.Stat(bad); err != nil {
+		t.Fatalf("bad journal entry was deleted: %v", err)
+	}
+}
+
+// TestRunJobCheckpointResume drives the checkpoint/resume cycle through the
+// HTTP API: a run that checkpoints, a resumed run picking the scenario up
+// from the file, and a semantically incompatible resume refused at
+// submission with a 400.
+func TestRunJobCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "state.ckpt")
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	spec := fmt.Sprintf(`{"kind":"run","run":{"preset":"smoke","overrides":{"sim_time":3,"data_users":2},"checkpoint":{"path":%q,"every":25}}}`, ck)
+	waitState(t, ts, submit(t, ts, spec), StateDone)
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+
+	resume := fmt.Sprintf(`{"kind":"run","run":{"checkpoint":{"resume":%q}}}`, ck)
+	waitState(t, ts, submit(t, ts, resume), StateDone)
+
+	for name, body := range map[string]string{
+		"semantic-override":    fmt.Sprintf(`{"kind":"run","run":{"overrides":{"seed":99},"checkpoint":{"resume":%q}}}`, ck),
+		"resume-plus-preset":   fmt.Sprintf(`{"kind":"run","run":{"preset":"smoke","checkpoint":{"resume":%q}}}`, ck),
+		"reps-with-checkpoint": fmt.Sprintf(`{"kind":"run","run":{"preset":"smoke","reps":2,"checkpoint":{"path":%q,"every":10}}}`, ck),
+		"path-without-every":   fmt.Sprintf(`{"kind":"run","run":{"preset":"smoke","checkpoint":{"path":%q}}}`, ck),
+	} {
+		if code, resp := post(t, ts.URL+"/v1/jobs", body); code != http.StatusBadRequest {
+			t.Errorf("%s: got %d (%s), want 400", name, code, resp)
+		}
+	}
+}

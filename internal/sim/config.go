@@ -10,6 +10,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"jabasd/internal/channel"
 	"jabasd/internal/core"
@@ -245,6 +246,27 @@ type Config struct {
 	// activity, not an aggregate since the last sample.
 	TraceEvery int
 
+	// SolveTrace, when non-nil, receives the JSONL solve trace: every
+	// (frame, cell) scheduling problem the admission layer solves —
+	// requests, admissible region and assigned ratios — in commit order
+	// (see internal/replay). The stream is byte-identical for any
+	// FrameParallel/Tiles. Never serialised; like Trace it is attached to
+	// replication 0 only by RunReplications.
+	SolveTrace io.Writer `json:"-"`
+
+	// CheckpointEvery, when positive with CheckpointSink set, serialises
+	// the full engine state to the sink after every N-th frame (see
+	// Engine.Checkpoint). Like the trace it is an execution knob, not part
+	// of the scenario: a checkpointing run's outputs are byte-identical to
+	// a plain one.
+	CheckpointEvery int
+	// CheckpointSink receives the periodic checkpoints: it is called with
+	// the just-completed frame index and a callback that serialises the
+	// engine into the writer it is given (see FileCheckpointSink for the
+	// atomic-file implementation). A sink error aborts the run. Never
+	// serialised.
+	CheckpointSink func(frame int, write func(io.Writer) error) error `json:"-"`
+
 	// LoadStep, when non-nil, applies a mid-run offered-load step change
 	// (see LoadStep); nil leaves the traffic stationary.
 	LoadStep *LoadStep
@@ -374,6 +396,9 @@ func (c Config) Validate() error {
 	}
 	if c.TraceEvery < 0 {
 		fail("TraceEvery must be >= 0")
+	}
+	if c.CheckpointEvery < 0 {
+		fail("CheckpointEvery must be >= 0")
 	}
 	if ls := c.LoadStep; ls != nil {
 		if ls.AtSec < 0 || ls.AtSec >= c.SimTime {

@@ -13,6 +13,7 @@ import (
 	"jabasd/internal/mathx"
 	"jabasd/internal/measurement"
 	"jabasd/internal/mobility"
+	"jabasd/internal/replay"
 	"jabasd/internal/rng"
 	"jabasd/internal/shard"
 	"jabasd/internal/spatial"
@@ -186,6 +187,12 @@ type Engine struct {
 	rec        *trace.Recorder
 	traceCells []traceCell
 
+	// solveRec, non-nil when cfg.SolveTrace is set, streams the solve
+	// trace (see internal/replay). Emission happens only on the engine's
+	// sequential sections; the parallel solve phases capture deep copies
+	// into their grant slots first.
+	solveRec *replay.Recorder
+
 	// loadStepDone latches cfg.LoadStep so the step applies exactly once.
 	loadStepDone bool
 
@@ -218,6 +225,10 @@ type admitScratch struct {
 	csi   []float64 // live users' mean CSI, input to the batched PHY eval
 	bp    []float64 // per-user average throughput, batch output
 	vers  []uint64  // live users' measurement versions, for the region cache
+	// region is the admissible region the last solveCell call built (or
+	// fetched from the incremental cache) — kept for the solve trace, which
+	// deep-copies it out of this reused scratch.
+	region measurement.Region
 }
 
 // frameWorker owns the mutable state one snapshot-phase worker needs so the
@@ -238,6 +249,10 @@ type cellGrants struct {
 	offered int  // live requests gathered, for the telemetry trace
 	users   []*dataUser
 	ratios  []int
+	// prob is the deep-copied solve-trace record (nil unless tracing):
+	// captured by the worker, emitted by the sequential commit phase so the
+	// stream order never depends on worker scheduling.
+	prob *replay.Problem
 }
 
 // NewEngine builds a ready-to-run engine for the configuration.
@@ -304,6 +319,20 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Trace != nil {
 		e.rec = trace.NewRecorder(cfg.Trace, cfg.TraceEvery)
 		e.traceCells = make([]traceCell, layout.NumCells())
+	}
+	if cfg.SolveTrace != nil {
+		kind := cfg.Scheduler
+		if kind == "" {
+			kind = SchedulerJABASD
+		}
+		e.solveRec = replay.NewRecorder(cfg.SolveTrace, replay.Header{
+			Scheduler:    string(kind),
+			Objective:    cfg.Objective,
+			MaxRatio:     cfg.RatePlan.MaxSpreadingRatio,
+			MAC:          cfg.MAC,
+			FrameLengthS: cfg.FrameLength,
+			Seed:         cfg.Seed,
+		})
 	}
 	if cfg.FrameMode.normalize() == FrameSnapshot {
 		cl, ok := sched.(core.Cloner)
@@ -411,21 +440,35 @@ func (e *Engine) populate() {
 // Run executes the replication and returns its metrics. Cancelling the
 // context stops the frame loop promptly (the context is checked once per
 // admission frame, tens of microseconds of work) and returns the context's
-// error; the partially accumulated metrics are discarded.
+// error; the partially accumulated metrics are discarded. A resumed engine
+// (Checkpoint.Resume) continues from its checkpointed frame; a fresh one
+// starts at 0.
 func (e *Engine) Run(ctx context.Context) (*Metrics, error) {
 	defer e.Close()
 	frames := int(math.Ceil(e.cfg.SimTime / e.cfg.FrameLength))
-	for f := 0; f < frames; f++ {
+	for f := e.frame; f < frames; f++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		e.now = float64(f) * e.cfg.FrameLength
 		e.step()
+		// step advanced e.frame to f+1; a checkpoint is always of a frame
+		// boundary, after the frame's trace records were emitted.
+		if e.cfg.CheckpointEvery > 0 && e.cfg.CheckpointSink != nil && e.frame%e.cfg.CheckpointEvery == 0 {
+			if err := e.cfg.CheckpointSink(e.frame, e.Checkpoint); err != nil {
+				return nil, fmt.Errorf("sim: checkpoint at frame %d: %w", e.frame, err)
+			}
+		}
 	}
 	e.metrics.QueueLength.Finish(e.now)
 	e.metrics.ObservedTime = e.cfg.SimTime - e.cfg.WarmupTime
 	if e.rec != nil {
 		if err := e.rec.Flush(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	if e.solveRec != nil {
+		if err := e.solveRec.Err(); err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 	}
@@ -828,6 +871,9 @@ func (e *Engine) admitSequential() {
 			e.traceSolve(k, len(e.admitScratch.reqs), true)
 			continue
 		}
+		if e.solveRec != nil {
+			e.solveRec.Emit(replay.CopyProblem(e.frame, e.now, k, e.admitScratch.reqs, e.admitScratch.region, assignment.Ratios))
+		}
 		e.commitCell(k, queue, e.admitScratch.users, assignment.Ratios)
 	}
 }
@@ -878,6 +924,7 @@ func (e *Engine) admitSnapshot() {
 		g.offered = 0
 		g.users = g.users[:0]
 		g.ratios = g.ratios[:0]
+		g.prob = nil
 		if !e.gatherCell(k, &fw.scratch, loads) {
 			return
 		}
@@ -889,6 +936,9 @@ func (e *Engine) admitSnapshot() {
 		if err != nil {
 			g.skipped = true
 			return
+		}
+		if e.solveRec != nil {
+			g.prob = replay.CopyProblem(e.frame, e.now, k, fw.scratch.reqs, fw.scratch.region, assignment.Ratios)
 		}
 		for j, m := range assignment.Ratios {
 			if m > 0 {
@@ -910,6 +960,10 @@ func (e *Engine) admitSnapshot() {
 		if g.skipped {
 			e.metrics.SkippedCells++
 			continue
+		}
+		if g.prob != nil {
+			e.solveRec.Emit(g.prob)
+			g.prob = nil
 		}
 		e.commitCell(g.cell, e.queues[g.cell], g.users, g.ratios)
 	}
@@ -1057,6 +1111,7 @@ func (e *Engine) solveCell(k int, s *admitScratch, rb *measurement.RegionBuilder
 	if err != nil {
 		return core.Assignment{}, err
 	}
+	s.region = region
 	return sched.Schedule(core.Problem{
 		Requests:  s.reqs,
 		Region:    region,

@@ -28,6 +28,7 @@ import (
 
 	"jabasd/internal/core"
 	"jabasd/internal/measurement"
+	"jabasd/internal/replay"
 	"jabasd/internal/shard"
 	"jabasd/internal/stream"
 )
@@ -116,6 +117,7 @@ func (e *Engine) admitTiled() {
 			g.offered = 0
 			g.users = g.users[:0]
 			g.ratios = g.ratios[:0]
+			g.prob = nil
 			if !e.gatherCell(k, &t.worker.scratch, loads) {
 				continue
 			}
@@ -127,6 +129,9 @@ func (e *Engine) admitTiled() {
 			if err != nil {
 				g.skipped = true
 				continue
+			}
+			if e.solveRec != nil {
+				g.prob = replay.CopyProblem(e.frame, e.now, k, t.worker.scratch.reqs, t.worker.scratch.region, assignment.Ratios)
 			}
 			for j, m := range assignment.Ratios {
 				if m > 0 {
@@ -150,6 +155,10 @@ func (e *Engine) admitTiled() {
 			if g.skipped {
 				e.metrics.SkippedCells++
 				continue
+			}
+			if g.prob != nil {
+				e.solveRec.Emit(g.prob)
+				g.prob = nil
 			}
 			e.commitCell(g.cell, e.queues[g.cell], g.users, g.ratios)
 		}

@@ -1,0 +1,53 @@
+package stats
+
+import "jabasd/internal/checkpoint"
+
+// EncodeState appends the accumulator's complete state.
+func (r *Running) EncodeState(w *checkpoint.Writer) {
+	w.I64(r.n)
+	w.F64(r.mean)
+	w.F64(r.m2)
+	w.F64(r.min)
+	w.F64(r.max)
+}
+
+// DecodeState restores the state written by EncodeState.
+func (r *Running) DecodeState(rd *checkpoint.Reader) {
+	r.n = rd.I64()
+	r.mean = rd.F64()
+	r.m2 = rd.F64()
+	r.min = rd.F64()
+	r.max = rd.F64()
+}
+
+// EncodeState appends the sample's observations in insertion order plus the
+// sorted flag. The order matters: Mean sums the values as they were added,
+// so a reordered restore would change the rounding of downstream reports.
+func (s *Sample) EncodeState(w *checkpoint.Writer) {
+	w.F64s(s.xs)
+	w.Bool(s.sorted)
+}
+
+// DecodeState restores the state written by EncodeState.
+func (s *Sample) DecodeState(rd *checkpoint.Reader) {
+	s.xs = rd.F64s()
+	s.sorted = rd.Bool()
+}
+
+// EncodeState appends the integrator's complete state.
+func (tw *TimeWeighted) EncodeState(w *checkpoint.Writer) {
+	w.F64(tw.lastT)
+	w.F64(tw.lastV)
+	w.F64(tw.area)
+	w.F64(tw.duration)
+	w.Bool(tw.started)
+}
+
+// DecodeState restores the state written by EncodeState.
+func (tw *TimeWeighted) DecodeState(rd *checkpoint.Reader) {
+	tw.lastT = rd.F64()
+	tw.lastV = rd.F64()
+	tw.area = rd.F64()
+	tw.duration = rd.F64()
+	tw.started = rd.Bool()
+}
