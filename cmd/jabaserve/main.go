@@ -52,6 +52,7 @@ func run(ctx context.Context, args []string) error {
 		workers       = fs.Int("workers", 2, "jobs run concurrently; each job's fan-out defaults to GOMAXPROCS/workers")
 		oracleWorkers = fs.Int("oracle-workers", 2, "resident warm JABA-SD solver instances (bounds concurrent oracle solves)")
 		journalDir    = fs.String("journal", "", "directory persisting accepted job specs until they settle; on start, unsettled jobs found there are re-submitted")
+		enableChaos   = fs.Bool("chaos", false, "accept job specs carrying a chaos clause (injected worker panics/hangs) for resilience drills; never enable on a production queue")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +68,7 @@ func run(ctx context.Context, args []string) error {
 		Workers:       *workers,
 		OracleWorkers: *oracleWorkers,
 		JournalDir:    *journalDir,
+		EnableChaos:   *enableChaos,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

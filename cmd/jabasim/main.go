@@ -26,6 +26,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,7 @@ import (
 	"strings"
 	"syscall"
 
+	"jabasd/internal/fault"
 	"jabasd/internal/jobspec"
 	"jabasd/internal/replay"
 	"jabasd/internal/scenario"
@@ -73,6 +75,9 @@ func run(ctx context.Context, args []string) error {
 		tracePath   = fs.String("trace", "", "write per-frame per-cell telemetry to this file (CSV, or JSONL when the path ends in .jsonl); replication 0 only when -reps > 1")
 		traceEvery  = fs.Int("trace-every", 1, "sample every Nth frame into the -trace output")
 		exactVTAOC  = fs.Bool("exact-vtaoc", false, "bit-exact reference physics: exact VTAOC integral, scalar-equivalent channel kernels, full region rebuilds (golden-output mode; default is the fast SoA path)")
+		faultsPath  = fs.String("faults", "", "JSON fault schedule file: cell outages/derates and load events (see internal/fault); exclusive with -fault-profile")
+		faultProf   = fs.String("fault-profile", "", "named fault profile scaled to the scenario's sim time: none, outage, degrade, flashcrowd, rushhour")
+		nodeBudget  = fs.Int("node-budget", -1, "cap the exact solver's branch-and-bound nodes per cell-frame; an over-budget solve falls back to the greedy policy (0 = unbounded, -1 keeps the scenario's)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProfile  = fs.String("memprofile", "", "write a heap profile (allocation attribution) to this file when the simulation finishes")
 		ckptPath    = fs.String("checkpoint", "", "write a versioned engine-state checkpoint to this file (atomically) every -checkpoint-every frames; requires -reps 1")
@@ -130,11 +135,29 @@ func run(ctx context.Context, args []string) error {
 		spec.Checkpoint = &jobspec.CheckpointSpec{Path: *ckptPath, Every: *ckptEvery, Resume: *resumePath}
 	}
 	spec.Overrides = jobspec.Overrides{
-		Scheduler: *scheduler,
-		Direction: *direction,
-		Seed:      *seed,
-		FrameMode: *frameMode,
-		ExactPHY:  *exactVTAOC,
+		Scheduler:    *scheduler,
+		Direction:    *direction,
+		Seed:         *seed,
+		FrameMode:    *frameMode,
+		ExactPHY:     *exactVTAOC,
+		FaultProfile: *faultProf,
+	}
+	if *faultsPath != "" {
+		data, err := os.ReadFile(*faultsPath)
+		if err != nil {
+			return err
+		}
+		var sched fault.Schedule
+		if err := json.Unmarshal(data, &sched); err != nil {
+			return fmt.Errorf("decode %s: %w", *faultsPath, err)
+		}
+		spec.Overrides.Faults = &sched
+	}
+	if *nodeBudget != -1 {
+		if *nodeBudget < 0 {
+			return fmt.Errorf("-node-budget must be >= 0 (or -1 to keep the scenario's), got %d", *nodeBudget)
+		}
+		spec.Overrides.NodeBudget = nodeBudget
 	}
 	if *users >= 0 {
 		spec.Overrides.DataUsers = users
@@ -312,6 +335,7 @@ func run(ctx context.Context, args []string) error {
 	fmt.Printf("  mean cell load    : %.3f\n", agg.CellLoad.Mean())
 	fmt.Printf("  completion ratio  : %.3f\n", agg.CompletionRate.Mean())
 	printSkippedCells(agg.SkippedCells.Mean())
+	printFallbackSolves(agg.FallbackSolves.Mean())
 	return nil
 }
 
@@ -395,6 +419,17 @@ func printSkippedCells(count float64) {
 	}
 }
 
+// printFallbackSolves surfaces the count of cell-frames where the exact
+// solver hit its node budget and the greedy policy answered instead — the
+// run completed, but those grants are heuristic, not optimal.
+func printFallbackSolves(count float64) {
+	if count == 0 {
+		return
+	}
+	fmt.Printf("  fallback solves   : %g\n", count)
+	fmt.Println("  WARNING: the exact solver hit its node budget; over-budget cell-frames were granted by the greedy fallback")
+}
+
 func printMetrics(m *sim.Metrics) {
 	fmt.Println(m.String())
 	fmt.Printf("  bursts generated  : %d\n", m.BurstsGenerated)
@@ -407,5 +442,13 @@ func printMetrics(m *sim.Metrics) {
 	fmt.Printf("  mean cell load    : %.3f\n", m.CellLoad.Mean())
 	fmt.Printf("  mean queue length : %.2f\n", m.QueueLength.Mean())
 	fmt.Printf("  mean granted ratio: %.2f\n", m.AssignedRatio.Mean())
+	if m.OutageCellFrames > 0 || m.SpilloverHandoffs > 0 {
+		fmt.Printf("  outage cell-frames: %d\n", m.OutageCellFrames)
+		fmt.Printf("  spillover handoffs: %d\n", m.SpilloverHandoffs)
+	}
+	if m.SolveRetries > 0 {
+		fmt.Printf("  solve retries     : %d\n", m.SolveRetries)
+	}
 	printSkippedCells(float64(m.SkippedCells))
+	printFallbackSolves(float64(m.FallbackSolves))
 }

@@ -27,8 +27,10 @@ import (
 
 // Version is the checkpoint format version. Bump it whenever the section
 // layout or any section's internal encoding changes incompatibly; readers
-// refuse other versions with a precise error.
-const Version = 1
+// refuse other versions with a precise error. Version 2 added the fault
+// runtime state (load-event cursor, pending-retry marks) and the
+// robustness counters to the sim engine's sections.
+const Version = 2
 
 // magic identifies a checkpoint stream. The trailing byte breaks accidental
 // matches against text files.

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"jabasd/internal/measurement"
+)
+
+// fallbackProblem builds an admission problem contrived enough that the
+// exact branch-and-bound needs more than one node.
+func fallbackProblem() Problem {
+	reqs := []Request{
+		{UserID: 0, SizeBits: 8e5, WaitingTime: 0.1, AvgThroughput: 1.4e5, MaxRatio: 7},
+		{UserID: 1, SizeBits: 6e5, WaitingTime: 0.4, AvgThroughput: 1.1e5, MaxRatio: 7},
+		{UserID: 2, SizeBits: 9e5, WaitingTime: 0.2, AvgThroughput: 0.9e5, MaxRatio: 7},
+		{UserID: 3, SizeBits: 3e5, WaitingTime: 0.8, AvgThroughput: 1.6e5, MaxRatio: 7},
+	}
+	region := measurement.Region{
+		Coeff: [][]float64{
+			{1.7, 2.3, 1.1, 2.9},
+			{2.2, 1.3, 2.7, 1.2},
+		},
+		Bound: []float64{11.5, 10.3},
+		Cells: []int{0, 1},
+	}
+	return Problem{
+		Requests:  reqs,
+		Region:    region,
+		MaxRatio:  8,
+		Objective: DefaultObjective(),
+	}
+}
+
+// TestJABASDNodeBudgetFallback pins the exact→greedy degradation: a budget
+// of one node forces the greedy fallback, the assignment is flagged, equals
+// the greedy scheduler's own output, and the whole path is deterministic.
+func TestJABASDNodeBudgetFallback(t *testing.T) {
+	p := fallbackProblem()
+
+	exact := NewJABASD()
+	ref, err := exact.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Fallback {
+		t.Fatal("unbudgeted solve must not report a fallback")
+	}
+
+	budgeted := NewJABASD()
+	budgeted.NodeBudget = 1
+	got, err := budgeted.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Fallback {
+		t.Fatalf("budget 1 must degrade to greedy (exact solve took multiple nodes); got %+v", got)
+	}
+	if got.Scheduler != exact.Name() {
+		t.Fatalf("fallback assignment reports scheduler %q, want %q", got.Scheduler, exact.Name())
+	}
+
+	var greedy GreedyJABASD
+	want, err := greedy.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Ratios, want.Ratios) {
+		t.Fatalf("fallback ratios %v differ from greedy's %v", got.Ratios, want.Ratios)
+	}
+
+	again, err := budgeted.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Ratios, again.Ratios) || !again.Fallback {
+		t.Fatalf("budgeted schedule not deterministic: %v vs %v", got.Ratios, again.Ratios)
+	}
+
+	// A generous budget must reproduce the exact result, unflagged.
+	roomy := NewJABASD()
+	roomy.NodeBudget = 1 << 20
+	res, err := roomy.Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback || !reflect.DeepEqual(res.Ratios, ref.Ratios) {
+		t.Fatalf("roomy budget changed the result: %+v vs %+v", res, ref)
+	}
+}
+
+// TestJABASDCloneCarriesNodeBudget keeps the snapshot frame mode honest:
+// per-worker clones must degrade at exactly the same budget as the original
+// or outputs would depend on which cells run through clones.
+func TestJABASDCloneCarriesNodeBudget(t *testing.T) {
+	s := NewJABASD()
+	s.NodeBudget = 123
+	c, ok := s.Clone().(*JABASD)
+	if !ok {
+		t.Fatalf("Clone returned %T", s.Clone())
+	}
+	if c.NodeBudget != 123 || c.GreedyFallbackSize != s.GreedyFallbackSize {
+		t.Fatalf("clone dropped configuration: %+v", c)
+	}
+}

@@ -320,6 +320,11 @@ type Assignment struct {
 	Ratios    []int
 	Objective float64
 	Scheduler string
+	// Fallback is true when an exact scheduler degraded to its greedy
+	// heuristic because the solve exceeded its node budget (JABASD's
+	// NodeBudget). The engine counts these as sim.Metrics.FallbackSolves
+	// and traces them per cell-frame.
+	Fallback bool
 }
 
 // Served reports how many requests received a non-zero grant.

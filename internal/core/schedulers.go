@@ -72,6 +72,14 @@ type JABASD struct {
 	// switches to the greedy heuristic to bound per-frame work. Zero means
 	// always exact.
 	GreedyFallbackSize int
+	// NodeBudget, when positive, bounds the branch-and-bound search at that
+	// many nodes per solve (the deterministic analogue of a per-frame time
+	// budget — node counts are a pure function of the problem, so outputs
+	// stay byte-identical for any worker/tile count). A solve that hits the
+	// budget is redone with the greedy heuristic and the returned assignment
+	// carries Fallback = true, which the engine counts and traces. Zero
+	// means unbudgeted (only the solver's global safety valve applies).
+	NodeBudget int
 
 	solver  ilp.Solver
 	scratch ilpScratch
@@ -88,7 +96,7 @@ func (s *JABASD) Name() string { return "JABA-SD" }
 // Clone implements Cloner. The clone carries the configuration but owns a
 // fresh solver and scratch, so it shares no mutable state with the receiver.
 func (s *JABASD) Clone() Scheduler {
-	return &JABASD{GreedyFallbackSize: s.GreedyFallbackSize}
+	return &JABASD{GreedyFallbackSize: s.GreedyFallbackSize, NodeBudget: s.NodeBudget}
 }
 
 // Schedule implements Scheduler.
@@ -108,9 +116,25 @@ func (s *JABASD) Schedule(p Problem) (Assignment, error) {
 		return a, nil
 	}
 	prob, reqs := p.toILP(&s.scratch)
+	s.solver.MaxNodes = s.NodeBudget
 	res, err := s.solver.Solve(prob)
 	if err != nil {
 		return Assignment{}, err
+	}
+	if s.NodeBudget > 0 && res.Capped {
+		// The exact search exhausted its per-solve node budget: degrade
+		// deterministically to the greedy heuristic instead of returning an
+		// unproven incumbent, and mark the assignment so the engine can
+		// count and trace the fallback. (The size-based GreedyFallbackSize
+		// shortcut above is a steady-state policy, not a degradation, and is
+		// deliberately not flagged.)
+		a, err := s.greedy.Schedule(p)
+		if err != nil {
+			return Assignment{}, err
+		}
+		a.Scheduler = s.Name()
+		a.Fallback = true
+		return a, nil
 	}
 	if !res.Feasible {
 		// Even the all-zero assignment violates a constraint (a cell is

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"jabasd/internal/fault"
+	"jabasd/internal/report"
+)
+
+// The fault experiments E13 and E14 exercise the engine's fault-injection
+// layer (internal/fault) with the same windowed frame-level telemetry the
+// transient experiments use: E13 takes a cell out of service mid-run and
+// watches the load spill to its neighbours and settle back on recovery;
+// E14 drives the offered load through a flash-crowd curve — the
+// generalisation of E12's single step to a piecewise schedule.
+
+// E13CellOutageSpillover runs the congested baseline with the centre cell
+// out of service for the middle fifth of the run. The windowed table shows
+// the outage transient: admitted rate dips when the cell goes dark, its
+// queued requests and re-piloting users spill onto the first ring
+// (spillover_handoffs), neighbour load rises, and after recovery the system
+// settles back to the pre-outage steady state. down_cell_frames counts the
+// out-of-service (cell, frame) pairs per window, so the outage span is
+// visible in the table itself.
+func E13CellOutageSpillover(ctx context.Context, s Scale) (*report.Table, error) {
+	cfg := baseConfig(s)
+	cfg.WarmupTime = 0
+	cfg.DataUsersPerCell = 14
+	outStart, outEnd := 0.4*cfg.SimTime, 0.6*cfg.SimTime
+	cfg.Faults = &fault.Schedule{Cells: []fault.CellEvent{
+		{Cell: 0, StartSec: outStart, EndSec: outEnd},
+	}}
+	windowSec := cfg.SimTime / transientWindows
+	reps := transientReps(s)
+	acc, err := runTransient(ctx, cfg, reps, windowSec)
+	if err != nil {
+		return nil, err
+	}
+	cells := cellCount(cfg)
+	t := report.NewTable(
+		fmt.Sprintf("E13: centre-cell outage t=%.0f..%.0f s — spillover and recovery (%s scale)", outStart, outEnd, s.Name),
+		"phase", "t_start_s", "offered_per_cell_s", "admitted_per_cell_s", "completed_per_cell_s",
+		"mean_cell_load", "mean_queue_len", "mean_delay_s", "down_cell_frames", "spillover_handoffs")
+	for w, a := range acc {
+		tStart := float64(w) * windowSec
+		phase := "pre-outage"
+		switch {
+		case tStart >= outEnd:
+			phase = "recovered"
+		case tStart >= outStart:
+			phase = "outage"
+		}
+		addFaultRow(t, a, tStart, windowSec, cells, reps, phase)
+	}
+	return t, nil
+}
+
+// E14FlashCrowdCurve drives the scenario through a piecewise load curve:
+// lightly loaded at the start, the mean reading time quarters at 0.35
+// SimTime (a flash crowd arriving) and restores at 0.7 SimTime (the crowd
+// leaving). Where E12 shows the response to a single permanent step, E14
+// shows both edges — the ramp into saturation and the drain back out — as
+// the fault layer's load events fire in sequence.
+func E14FlashCrowdCurve(ctx context.Context, s Scale) (*report.Table, error) {
+	cfg := baseConfig(s)
+	cfg.WarmupTime = 0
+	cfg.DataUsersPerCell = 14
+	cfg.Data.MeanReadingTimeSec = 12 // light offered load outside the crowd
+	crowdAt, crowdEnd := 0.35*cfg.SimTime, 0.7*cfg.SimTime
+	cfg.Faults = &fault.Schedule{Load: []fault.LoadEvent{
+		{AtSec: crowdAt, ReadingTimeSec: cfg.Data.MeanReadingTimeSec / 4},
+		{AtSec: crowdEnd, ReadingTimeSec: cfg.Data.MeanReadingTimeSec},
+	}}
+	windowSec := cfg.SimTime / transientWindows
+	reps := transientReps(s)
+	acc, err := runTransient(ctx, cfg, reps, windowSec)
+	if err != nil {
+		return nil, err
+	}
+	cells := cellCount(cfg)
+	t := report.NewTable(
+		fmt.Sprintf("E14: flash-crowd load curve t=%.0f..%.0f s (%s scale)", crowdAt, crowdEnd, s.Name),
+		"phase", "t_start_s", "offered_per_cell_s", "admitted_per_cell_s", "completed_per_cell_s",
+		"mean_cell_load", "mean_queue_len", "mean_delay_s")
+	for w, a := range acc {
+		tStart := float64(w) * windowSec
+		phase := "pre-crowd"
+		switch {
+		case tStart >= crowdEnd:
+			phase = "drained"
+		case tStart >= crowdAt:
+			phase = "crowd"
+		}
+		addTransientRow(t, a, tStart, windowSec, cells, reps, phase)
+	}
+	return t, nil
+}
+
+// addFaultRow appends one window's row with the outage counters after the
+// shared transient columns.
+func addFaultRow(t *report.Table, a windowAcc, tStart, windowSec float64, cells, reps int, phase string) {
+	norm := float64(cells*reps) * windowSec
+	meanDelay := 0.0
+	if a.completed > 0 {
+		meanDelay = a.delaySum / float64(a.completed)
+	}
+	meanLoad, meanQueue := 0.0, 0.0
+	if a.samples > 0 {
+		meanLoad = a.loadSum / float64(a.samples)
+		meanQueue = a.queueSum / float64(a.samples)
+	}
+	t.AddRow(phase, tStart,
+		float64(a.offered)/norm, float64(a.admitted)/norm, float64(a.completed)/norm,
+		meanLoad, meanQueue, meanDelay,
+		float64(a.down)/float64(reps), float64(a.spill)/float64(reps))
+}

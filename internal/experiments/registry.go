@@ -15,7 +15,7 @@ import (
 // (experiment-local rng sources, sim.Config.Seed per replication) — so the
 // tables are identical no matter how many experiments run concurrently.
 type Experiment struct {
-	// ID is the stable identifier (E1..E12) used by cmd/jabaexp -only.
+	// ID is the stable identifier (E1..E14) used by cmd/jabaexp -only.
 	ID string
 	// Title summarises what the experiment reproduces.
 	Title string
@@ -29,7 +29,7 @@ type Experiment struct {
 	Run func(context.Context, Scale) (*report.Table, error)
 }
 
-// Registry returns the ordered experiment suite E1-E12. It is the single
+// Registry returns the ordered experiment suite E1-E14. It is the single
 // source of truth consumed by both All and cmd/jabaexp, so the two can never
 // drift apart.
 func Registry() []Experiment {
@@ -81,6 +81,14 @@ func Registry() []Experiment {
 		{
 			ID: "E12", Title: "offered-load step response (mid-run flash crowd)",
 			Run: func(ctx context.Context, s Scale) (*report.Table, error) { return E12LoadStepResponse(ctx, s) },
+		},
+		{
+			ID: "E13", Title: "mid-run cell outage: spillover transient and recovery settling",
+			Run: func(ctx context.Context, s Scale) (*report.Table, error) { return E13CellOutageSpillover(ctx, s) },
+		},
+		{
+			ID: "E14", Title: "flash-crowd load curve (piecewise fault schedule)",
+			Run: func(ctx context.Context, s Scale) (*report.Table, error) { return E14FlashCrowdCurve(ctx, s) },
 		},
 	}
 }

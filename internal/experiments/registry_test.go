@@ -13,8 +13,8 @@ import (
 
 func TestRegistryIDsStableAndUnique(t *testing.T) {
 	defs := Registry()
-	if len(defs) != 12 {
-		t.Fatalf("registry has %d experiments, want 12", len(defs))
+	if len(defs) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(defs))
 	}
 	seen := map[string]bool{}
 	for i, d := range defs {

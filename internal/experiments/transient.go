@@ -27,6 +27,7 @@ type windowAcc struct {
 	offered, admitted, completed int
 	delaySum                     float64
 	loadSum, queueSum            float64
+	down, spill                  int // out-of-service cell-frames, spillover hand-offs
 	samples                      int // (frame, cell) records seen
 }
 
@@ -46,6 +47,8 @@ func accumulateWindows(acc []windowAcc, records []trace.Record, windowSec float6
 		a.delaySum += r.DelaySumS
 		a.loadSum += r.Load
 		a.queueSum += float64(r.QueueLen)
+		a.down += r.Down
+		a.spill += r.Spill
 		a.samples++
 	}
 }

@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Named profiles build ready-made schedules scaled to a scenario's run
+// length, so the sweep axis, the experiments and the CLI flags can inject
+// canonical fault patterns without hand-written JSON. All windows are
+// fractions of SimTime, making a profile meaningful for any preset.
+const (
+	// ProfileNone is the empty schedule (the axis' baseline point).
+	ProfileNone = "none"
+	// ProfileOutage takes the centre cell (index 0) out of service for the
+	// middle fifth of the run: outage at 0.4 SimTime, recovery at 0.6.
+	ProfileOutage = "outage"
+	// ProfileDegrade derates the centre cell to half its forward power
+	// budget over the same middle-fifth window.
+	ProfileDegrade = "degrade"
+	// ProfileFlashCrowd quarters the mean reading time at 0.35 SimTime (a
+	// flash crowd arriving) and restores it at 0.7 SimTime.
+	ProfileFlashCrowd = "flashcrowd"
+	// ProfileRushHour is a two-step day/night curve: load doubles at 0.25
+	// SimTime, doubles again at 0.5, and falls back to baseline at 0.75.
+	ProfileRushHour = "rushhour"
+)
+
+// Profiles lists the named profiles in stable order.
+func Profiles() []string {
+	return []string{ProfileNone, ProfileOutage, ProfileDegrade, ProfileFlashCrowd, ProfileRushHour}
+}
+
+// Profile builds the named schedule for a run of simTimeSec over numCells
+// cells whose baseline mean reading time is baseReadingSec. ProfileNone
+// returns nil (no schedule). Unknown names list the alternatives.
+func Profile(name string, numCells int, simTimeSec, baseReadingSec float64) (*Schedule, error) {
+	switch name {
+	case ProfileNone, "":
+		return nil, nil
+	case ProfileOutage:
+		return &Schedule{Cells: []CellEvent{
+			{Cell: 0, StartSec: 0.4 * simTimeSec, EndSec: 0.6 * simTimeSec},
+		}}, nil
+	case ProfileDegrade:
+		return &Schedule{Cells: []CellEvent{
+			{Cell: 0, StartSec: 0.4 * simTimeSec, EndSec: 0.6 * simTimeSec, Derate: 0.5},
+		}}, nil
+	case ProfileFlashCrowd:
+		return &Schedule{Load: []LoadEvent{
+			{AtSec: 0.35 * simTimeSec, ReadingTimeSec: baseReadingSec / 4},
+			{AtSec: 0.7 * simTimeSec, ReadingTimeSec: baseReadingSec},
+		}}, nil
+	case ProfileRushHour:
+		return &Schedule{Load: []LoadEvent{
+			{AtSec: 0.25 * simTimeSec, ReadingTimeSec: baseReadingSec / 2},
+			{AtSec: 0.5 * simTimeSec, ReadingTimeSec: baseReadingSec / 4},
+			{AtSec: 0.75 * simTimeSec, ReadingTimeSec: baseReadingSec},
+		}}, nil
+	default:
+		known := Profiles()
+		sort.Strings(known)
+		return nil, fmt.Errorf("fault: unknown profile %q (want one of %s)", name, strings.Join(known, ", "))
+	}
+}

@@ -1,0 +1,73 @@
+package ilp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSolverNodeBudget pins the deterministic degradation contract of
+// Solver.MaxNodes: a capped search still returns a feasible incumbent,
+// marks Result.Capped, and the same (problem, budget) pair always produces
+// the same result — the budget is a node count, not wall-clock time.
+func TestSolverNodeBudget(t *testing.T) {
+	// A problem the solver needs more than one node for.
+	var p Problem
+	for seed := uint64(1); seed <= 200; seed++ {
+		cand := randomProblem(seed*0x9e3779b97f4a7c15, 8, 4, 8)
+		var probe Solver
+		res, err := probe.Solve(cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Feasible && res.Nodes > 3 {
+			p = cand
+			break
+		}
+	}
+	if p.C == nil {
+		t.Fatal("no multi-node instance found")
+	}
+
+	var full Solver
+	ref, err := full.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Capped {
+		t.Fatalf("unbudgeted solve reported capped after %d nodes", ref.Nodes)
+	}
+
+	capped := Solver{MaxNodes: 1}
+	got, err := capped.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Capped {
+		t.Fatalf("budget 1 on a %d-node instance must cap", ref.Nodes)
+	}
+	if !got.Feasible || !p.feasible(got.X) {
+		t.Fatalf("capped result must still be a feasible incumbent: %+v", got)
+	}
+	if got.Objective > ref.Objective+1e-9 {
+		t.Fatalf("incumbent %v beats the optimum %v", got.Objective, ref.Objective)
+	}
+	x1 := append([]int(nil), got.X...)
+	again, err := capped.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(x1, again.X) || again.Nodes != got.Nodes || !again.Capped {
+		t.Fatalf("capped solve is not deterministic: %v/%d vs %v/%d", x1, got.Nodes, again.X, again.Nodes)
+	}
+
+	// A budget at or above the full search's node count must not cap and
+	// must reproduce the optimum exactly.
+	roomy := Solver{MaxNodes: ref.Nodes}
+	res, err := roomy.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capped || res.Objective != ref.Objective {
+		t.Fatalf("budget %d (= full node count) changed the result: %+v vs %+v", ref.Nodes, res, ref)
+	}
+}

@@ -37,6 +37,11 @@ type Result struct {
 	X         []int
 	Objective float64
 	Nodes     int // number of branch-and-bound nodes explored (0 for Exhaustive)
+	// Capped is true when the search hit its node budget (Solver.MaxNodes,
+	// or the maxNodes safety valve) and returned the incumbent instead of a
+	// proven optimum. Deterministic: node counts depend only on the problem,
+	// never on wall-clock time or scheduling.
+	Capped bool
 }
 
 func (p Problem) validate() error {

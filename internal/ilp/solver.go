@@ -29,6 +29,15 @@ import (
 // The zero value is ready to use. A Solver is not safe for concurrent use —
 // give each goroutine its own (see core.Cloner).
 type Solver struct {
+	// MaxNodes, when positive, bounds the branch-and-bound search at that
+	// many nodes: the search stops there and returns the incumbent with
+	// Result.Capped set. It is the deterministic analogue of a wall-clock
+	// budget — node counts are a pure function of the problem — so callers
+	// can degrade gracefully (fall back to a cheaper heuristic) without
+	// giving up byte-identical outputs. Zero keeps only the maxNodes safety
+	// valve.
+	MaxNodes int
+
 	lp lp.Solver
 
 	// Shared relaxation storage: rows holds the m problem rows (aliased, the
@@ -113,14 +122,20 @@ func (s *Solver) Solve(p Problem) (Result, error) {
 	copy(root.up, p.Upper)
 	s.stack = append(s.stack[:0], root)
 	nodes := 0
+	capped := false
+	limit := maxNodes
+	if s.MaxNodes > 0 && s.MaxNodes < limit {
+		limit = s.MaxNodes
+	}
 
 	for len(s.stack) > 0 {
 		nd := s.stack[len(s.stack)-1]
 		s.stack = s.stack[:len(s.stack)-1]
 		nodes++
-		if nodes > maxNodes {
+		if nodes > limit {
 			s.recycle(nd)
-			break // safety valve; incumbent is returned
+			capped = true
+			break // budget exhausted; incumbent is returned
 		}
 
 		// Right-hand side of the shared relaxation over the shifted
@@ -205,6 +220,7 @@ func (s *Solver) Solve(p Problem) (Result, error) {
 	}
 	s.stack = s.stack[:0]
 	best.Nodes = nodes
+	best.Capped = capped
 	if !best.Feasible {
 		best.Objective = 0
 	}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"jabasd/internal/experiments"
+	"jabasd/internal/fault"
 	"jabasd/internal/scenario"
 	"jabasd/internal/sim"
 	"jabasd/internal/sweep"
@@ -66,6 +67,16 @@ type Overrides struct {
 	FrameParallel *int     `json:"frame_parallel,omitempty"`
 	Tiles         *int     `json:"tiles,omitempty"`
 	ExactPHY      bool     `json:"exact_phy,omitempty"`
+	// FaultProfile replaces the scenario's fault schedule with a named
+	// profile (see fault.Profiles) scaled to the resolved run length;
+	// "none" clears it.
+	FaultProfile string `json:"fault_profile,omitempty"`
+	// Faults replaces the scenario's fault schedule with an explicit one
+	// (cell outages/derates and load events); exclusive with FaultProfile.
+	Faults *fault.Schedule `json:"faults,omitempty"`
+	// NodeBudget caps the exact solver's branch-and-bound nodes per
+	// cell-frame (sim.Config.SolveNodeBudget); 0 removes the cap.
+	NodeBudget *int `json:"node_budget,omitempty"`
 }
 
 // Apply layers the set overrides onto cfg. Enum-valued overrides are
@@ -119,6 +130,25 @@ func (o Overrides) Apply(cfg *sim.Config) error {
 	if o.ExactPHY {
 		cfg.ExactPHY = true
 	}
+	switch {
+	case o.FaultProfile != "" && o.Faults != nil:
+		errs = append(errs, errors.New("jobspec: fault_profile and faults are exclusive; drop one"))
+	case o.FaultProfile != "":
+		// The profile scales to the configuration as overridden so far, so
+		// a sim_time override and a fault profile compose correctly.
+		cells := 1 + 3*cfg.Rings*(cfg.Rings+1)
+		sched, err := fault.Profile(o.FaultProfile, cells, cfg.SimTime, cfg.Data.MeanReadingTimeSec)
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			cfg.Faults = sched
+		}
+	case o.Faults != nil:
+		cfg.Faults = o.Faults
+	}
+	if o.NodeBudget != nil {
+		cfg.SolveNodeBudget = *o.NodeBudget
+	}
 	return errors.Join(errs...)
 }
 
@@ -138,6 +168,9 @@ func (o Overrides) axisConflicts() map[string]bool {
 	}
 	if o.FrameMode != "" {
 		c["framemode"] = true
+	}
+	if o.FaultProfile != "" || o.Faults != nil {
+		c["faultprofile"] = true
 	}
 	return c
 }

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"jabasd/internal/core"
+	"jabasd/internal/fault"
 	"jabasd/internal/sim"
 )
 
@@ -32,6 +33,7 @@ const (
 	PresetThroughput = "j1-max-tput"
 	PresetSmoke      = "smoke"
 	PresetMetro      = "metro"
+	PresetMetroChaos = "metro-outage"
 	PresetCity       = "city"
 	PresetCityDense  = "city-dense"
 )
@@ -67,16 +69,25 @@ var presets = map[string]preset{
 	PresetThroughput: {"pure throughput objective J1",
 		func(c *sim.Config) { c.Objective = core.Objective{Kind: core.ObjectiveThroughput} }},
 	PresetMetro: {"37 wrap-around cells, 30 data users/cell, snapshot-parallel frames",
+		applyMetro},
+	PresetMetroChaos: {"metro with a mid-run centre-cell outage and a flash-crowd load surge",
 		func(c *sim.Config) {
-			// A metropolitan deployment: 3 hexagonal rings (37 cells) at
-			// urban density. Only tractable with the snapshot frame mode,
-			// where the 37 per-cell ILP solves of every frame fan out over
-			// the worker pool instead of running back to back.
-			c.Rings = 3
-			c.CellRadius = 600
-			c.DataUsersPerCell = 30
-			c.VoiceUsersPerCell = 12
-			c.FrameMode = sim.FrameSnapshot
+			// The chaos demo behind experiments E13/E14 and the CI chaos
+			// job: the metro deployment loses its centre cell for the
+			// middle fifth of the run while a flash crowd quarters the
+			// mean reading time, then both recover. Everything else —
+			// and therefore the no-fault frames — matches the metro
+			// preset exactly.
+			applyMetro(c)
+			c.Faults = &fault.Schedule{
+				Cells: []fault.CellEvent{
+					{Cell: 0, StartSec: 0.4 * c.SimTime, EndSec: 0.6 * c.SimTime},
+				},
+				Load: []fault.LoadEvent{
+					{AtSec: 0.35 * c.SimTime, ReadingTimeSec: c.Data.MeanReadingTimeSec / 4},
+					{AtSec: 0.7 * c.SimTime, ReadingTimeSec: c.Data.MeanReadingTimeSec},
+				},
+			}
 		}},
 	PresetCity: {"1027 wrap-around cells, 100 data users/cell, tiled snapshot frames",
 		func(c *sim.Config) { applyCity(c, 100, 20) }},
@@ -91,6 +102,18 @@ var presets = map[string]preset{
 			c.VoiceUsersPerCell = 4
 			c.Data.MeanReadingTimeSec = 4
 		}},
+}
+
+// applyMetro mutates the default configuration into a metropolitan
+// deployment: 3 hexagonal rings (37 cells) at urban density. Only tractable
+// with the snapshot frame mode, where the 37 per-cell ILP solves of every
+// frame fan out over the worker pool instead of running back to back.
+func applyMetro(c *sim.Config) {
+	c.Rings = 3
+	c.CellRadius = 600
+	c.DataUsersPerCell = 30
+	c.VoiceUsersPerCell = 12
+	c.FrameMode = sim.FrameSnapshot
 }
 
 // applyCity mutates the default configuration into the city-scale family:

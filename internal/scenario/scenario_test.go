@@ -11,8 +11,8 @@ import (
 
 func TestNamesSortedAndComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 11 {
-		t.Fatalf("expected 11 presets, got %d", len(names))
+	if len(names) != 12 {
+		t.Fatalf("expected 12 presets, got %d", len(names))
 	}
 	for i := 1; i < len(names); i++ {
 		if names[i-1] > names[i] {

@@ -50,6 +50,62 @@ type JobSpec struct {
 	// Experiments describes an experiment-suite run (kind "experiments"),
 	// exactly as cmd/jabaexp resolves it.
 	Experiments *jobspec.ExperimentsSpec `json:"experiments,omitempty"`
+	// DeadlineSec bounds the job's wall-clock run time in seconds; a job
+	// still running at the deadline settles as failed with a deadline
+	// error (0 = no deadline).
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+	// Retries re-runs a job that failed with a transient error up to this
+	// many extra times, with exponential backoff between attempts.
+	// Cancellations and deadline expiries are never retried.
+	Retries int `json:"retries,omitempty"`
+	// Chaos injects a failure into the worker running this job, for
+	// resilience testing; rejected unless the server enables chaos
+	// (Options.EnableChaos / jabaserve -chaos).
+	Chaos *ChaosSpec `json:"chaos,omitempty"`
+}
+
+// ChaosSpec describes an injected failure. Chaos jobs exist to prove the
+// server's fault containment from the outside: a panicking worker must fail
+// only its job, and a hung job must be bounded by its deadline.
+type ChaosSpec struct {
+	// Mode is "panic" (the worker goroutine panics mid-job) or "hang"
+	// (the job blocks for SleepSec — or until cancelled — before its real
+	// work starts).
+	Mode string `json:"mode"`
+	// SleepSec is how long "hang" blocks; 0 blocks until the job is
+	// cancelled or its deadline expires.
+	SleepSec float64 `json:"sleep_sec,omitempty"`
+}
+
+func (c *ChaosSpec) validate() error {
+	switch c.Mode {
+	case "panic", "hang":
+		return nil
+	default:
+		return fmt.Errorf(`serve: unknown chaos mode %q (want "panic" or "hang")`, c.Mode)
+	}
+}
+
+// fire performs the injected failure at the start of a job attempt.
+func (c *ChaosSpec) fire(ctx context.Context) error {
+	switch c.Mode {
+	case "panic":
+		panic("chaos: injected worker panic")
+	case "hang":
+		var wake <-chan time.Time
+		if c.SleepSec > 0 {
+			t := time.NewTimer(time.Duration(c.SleepSec * float64(time.Second)))
+			defer t.Stop()
+			wake = t.C
+		}
+		select {
+		case <-wake:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
 }
 
 // JobStatus is the JSON view of a job returned by the job endpoints.
@@ -62,6 +118,13 @@ type JobStatus struct {
 	State JobState `json:"state"`
 	// Error carries the failure message of a failed job.
 	Error string `json:"error,omitempty"`
+	// Warnings flags a finished job whose result deserves scrutiny —
+	// skipped admission cell-frames, greedy fallback solves — without
+	// failing it.
+	Warnings []string `json:"warnings,omitempty"`
+	// Attempts counts started run attempts; above 1 means the job was
+	// retried after transient failures.
+	Attempts int `json:"attempts,omitempty"`
 	// RowsDone counts emitted progress rows (grid points for a sweep,
 	// completed experiments for a suite); RowsTotal is the expected count.
 	RowsDone  int `json:"rows_done"`
@@ -107,6 +170,8 @@ type Job struct {
 	state    JobState
 	userStop bool // cancelled through the API, not by server shutdown
 	err      string
+	warnings []string
+	attempts int
 	rows     []row
 	result   json.RawMessage
 	created  time.Time
@@ -139,6 +204,16 @@ func (j *Job) appendRow(r row) {
 	j.mu.Lock()
 	j.rows = append(j.rows, r)
 	j.broadcast()
+	j.mu.Unlock()
+}
+
+// setWarnings attaches result-quality warnings before the job finishes.
+func (j *Job) setWarnings(w []string) {
+	if len(w) == 0 {
+		return
+	}
+	j.mu.Lock()
+	j.warnings = w
 	j.mu.Unlock()
 }
 
@@ -186,6 +261,8 @@ func (j *Job) status() JobStatus {
 		Kind:      j.Spec.Kind,
 		State:     j.state,
 		Error:     j.err,
+		Warnings:  j.warnings,
+		Attempts:  j.attempts,
 		RowsDone:  len(j.rows),
 		RowsTotal: j.work.total,
 		Created:   j.created.UTC().Format(time.RFC3339Nano),
@@ -253,6 +330,7 @@ func resolveRun(spec jobspec.RunSpec) (runnable, error) {
 				if err != nil {
 					return err
 				}
+				j.setWarnings(metricsWarnings(float64(m.SkippedCells), float64(m.FallbackSolves)))
 				j.finish(nil, result)
 				return nil
 			},
@@ -268,10 +346,26 @@ func resolveRun(spec jobspec.RunSpec) (runnable, error) {
 			if err != nil {
 				return err
 			}
+			j.setWarnings(metricsWarnings(agg.SkippedCells.Mean(), agg.FallbackSolves.Mean()))
 			j.finish(nil, result)
 			return nil
 		},
 	}, nil
+}
+
+// metricsWarnings renders the result-quality flags a finished simulation can
+// carry: skipped admission cell-frames (inconsistent measurements) and
+// greedy fallback solves (the exact solver hit its node budget). The same
+// conditions cmd/jabasim and cmd/jabasweep warn about on stderr.
+func metricsWarnings(skipped, fallback float64) []string {
+	var w []string
+	if skipped > 0 {
+		w = append(w, fmt.Sprintf("admission skipped %g cell-frames: the scenario is feeding the admission layer inconsistent measurements", skipped))
+	}
+	if fallback > 0 {
+		w = append(w, fmt.Sprintf("%g cell-frames hit the solve node budget and were granted by the greedy fallback", fallback))
+	}
+	return w
 }
 
 func resolveSweep(spec jobspec.SweepSpec, defaultParallel int) (runnable, error) {
@@ -295,7 +389,10 @@ func resolveSweep(spec jobspec.SweepSpec, defaultParallel int) (runnable, error)
 		header: header,
 		total:  len(points),
 		run: func(ctx context.Context, j *Job) error {
+			var skipped, fallback float64
 			err := sweep.Stream(ctx, grid, opts, func(r sweep.Result) error {
+				skipped += r.Agg.SkippedCells.Mean()
+				fallback += r.Agg.FallbackSolves.Mean()
 				cells := sweep.AppendCurveRow(tbl, r)
 				event, err := json.Marshal(map[string]any{
 					"index": r.Index,
@@ -315,6 +412,7 @@ func resolveSweep(spec jobspec.SweepSpec, defaultParallel int) (runnable, error)
 			if err := tbl.WriteJSON(&buf); err != nil {
 				return err
 			}
+			j.setWarnings(metricsWarnings(skipped, fallback))
 			j.finish(nil, buf.Bytes())
 			return nil
 		},

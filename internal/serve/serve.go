@@ -35,6 +35,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"jabasd/internal/report"
 	"jabasd/internal/scenario"
@@ -60,6 +61,13 @@ type Options struct {
 	// shutdown keep their journal entry (they did not finish); jobs
 	// cancelled through the API drop it.
 	JournalDir string
+	// EnableChaos accepts job specs carrying a chaos clause (injected
+	// worker panics and hangs). Off by default: chaos is a test-and-drill
+	// facility, not something a production queue should honour.
+	EnableChaos bool
+	// RetryBaseDelay is the first retry's backoff; attempt n waits
+	// RetryBaseDelay << n (default 500ms). Tests shrink it.
+	RetryBaseDelay time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +79,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.OracleWorkers <= 0 {
 		o.OracleWorkers = 2
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = 500 * time.Millisecond
 	}
 	return o
 }
@@ -167,6 +178,20 @@ var (
 
 // submit resolves, registers, journals and enqueues one job.
 func (s *Server) submit(spec JobSpec) (*Job, error) {
+	if spec.DeadlineSec < 0 {
+		return nil, errors.New("serve: deadline_sec must be >= 0")
+	}
+	if spec.Retries < 0 {
+		return nil, errors.New("serve: retries must be >= 0")
+	}
+	if spec.Chaos != nil {
+		if !s.opts.EnableChaos {
+			return nil, errors.New("serve: chaos injection is disabled; start the server with -chaos")
+		}
+		if err := spec.Chaos.validate(); err != nil {
+			return nil, err
+		}
+	}
 	work, err := spec.resolve(s.jobParallel)
 	if err != nil {
 		return nil, err
@@ -243,16 +268,83 @@ func (s *Server) worker() {
 		}
 		j.state = StateRunning
 		j.broadcast()
-		ctx := j.ctx
 		j.mu.Unlock()
-		if err := j.work.run(ctx, j); err != nil {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job with the server's fault containment: a panic in
+// the job fails the job (never the worker), an optional per-job deadline
+// bounds its wall clock, and transient failures retry with exponential
+// backoff up to the spec's retry budget. Deadline expiry and cancellation
+// are terminal — retrying either would only repeat it.
+func (s *Server) runJob(j *Job) {
+	deadline := time.Duration(j.Spec.DeadlineSec * float64(time.Second))
+	var err error
+	for attempt := 0; ; attempt++ {
+		j.mu.Lock()
+		j.attempts = attempt + 1
+		j.mu.Unlock()
+		err = s.runAttempt(j, deadline)
+		if err == nil {
+			return // the job's work already called finish with its result
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			break
+		}
+		if attempt >= j.Spec.Retries {
+			break
+		}
+		// A fresh resolve gives the retry a clean result accumulator (the
+		// first attempt's runnable may hold partial rows); the original
+		// resolved at submission, so a failure here is transient too.
+		if work, rerr := j.Spec.resolve(s.jobParallel); rerr == nil {
+			j.mu.Lock()
+			j.work = work
+			j.rows = nil
+			j.broadcast()
+			j.mu.Unlock()
+		}
+		select {
+		case <-time.After(s.opts.RetryBaseDelay << uint(attempt)):
+		case <-j.ctx.Done():
+			err = j.ctx.Err()
 			j.finish(err, nil)
+			return
 		}
 	}
+	if errors.Is(err, context.DeadlineExceeded) && deadline > 0 {
+		err = fmt.Errorf("serve: job exceeded its %gs deadline: %w", j.Spec.DeadlineSec, err)
+	}
+	j.finish(err, nil)
+}
+
+// runAttempt runs one attempt under the job's context (bounded by the
+// deadline when one is set), converting a panic anywhere in the job's work
+// into an ordinary error.
+func (s *Server) runAttempt(j *Job, deadline time.Duration) (err error) {
+	ctx := j.ctx
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: job panicked: %v", r)
+		}
+	}()
+	if c := j.Spec.Chaos; c != nil {
+		if cerr := c.fire(ctx); cerr != nil {
+			return cerr
+		}
+	}
+	return j.work.run(ctx, j)
 }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
 	s.mux.HandleFunc("GET /v1/grids", s.handleGrids)
 	s.mux.HandleFunc("GET /v1/axes", s.handleAxes)
@@ -281,6 +373,28 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 while the queue accepts work,
+// 503 once the server is draining or the queue is saturated — the signal a
+// load balancer uses to stop routing submissions here.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	queued := len(s.queue)
+	body := map[string]any{"queued": queued, "queue_depth": s.opts.QueueDepth}
+	switch {
+	case closed:
+		body["status"] = "shutting-down"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case queued >= s.opts.QueueDepth:
+		body["status"] = "saturated"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		body["status"] = "ready"
+		writeJSON(w, http.StatusOK, body)
+	}
 }
 
 func (s *Server) handlePresets(w http.ResponseWriter, _ *http.Request) {
@@ -499,6 +613,10 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	sent := 0
 	for {
 		j.mu.Lock()
+		if sent > len(j.rows) {
+			// A retry reset the row log; re-follow from the start.
+			sent = 0
+		}
 		pending := j.rows[sent:]
 		state := j.state
 		errMsg := j.err

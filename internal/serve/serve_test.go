@@ -743,3 +743,165 @@ func TestRunJobCheckpointResume(t *testing.T) {
 		}
 	}
 }
+
+func TestReadyz(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, body := get(t, ts.URL+"/v1/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz = %d: %s", code, body)
+	}
+	var st struct {
+		Status     string `json:"status"`
+		QueueDepth int    `json:"queue_depth"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "ready" || st.QueueDepth != 16 {
+		t.Fatalf("readyz body = %s", body)
+	}
+}
+
+func TestReadyzAfterClose(t *testing.T) {
+	s := New(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Close()
+	code, body := get(t, ts.URL+"/v1/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), "shutting-down") {
+		t.Fatalf("readyz after Close = %d: %s", code, body)
+	}
+	// Liveness stays green while draining: the process is still serving.
+	if code, _ := get(t, ts.URL+"/v1/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after Close = %d", code)
+	}
+}
+
+// TestChaosPanicFailsJobNotServer injects a worker panic and checks the
+// containment contract: the job settles as failed with the panic message,
+// and the server keeps serving — the next job on the same (single) worker
+// completes normally.
+func TestChaosPanicFailsJobNotServer(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, EnableChaos: true})
+	id := submit(t, ts, `{"kind":"run","run":{"preset":"smoke","overrides":{"sim_time":3,"data_users":2}},"chaos":{"mode":"panic"}}`)
+	st := waitTerminal(t, ts, id)
+	if st.State != StateFailed || !strings.Contains(st.Error, "panicked") {
+		t.Fatalf("chaos job settled as %s (error %q), want failed with a panic message", st.State, st.Error)
+	}
+	if code, _ := get(t, ts.URL+"/v1/healthz"); code != http.StatusOK {
+		t.Fatal("server unhealthy after a worker panic")
+	}
+	next := submit(t, ts, quickRunSpec)
+	if st := waitTerminal(t, ts, next); st.State != StateDone {
+		t.Fatalf("job after the panic settled as %s (error %q), want done", st.State, st.Error)
+	}
+}
+
+// TestChaosHangHitsDeadline submits a job that blocks forever under a short
+// deadline: it must settle as failed with a deadline error, not hang the
+// worker or count as cancelled.
+func TestChaosHangHitsDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, EnableChaos: true})
+	id := submit(t, ts, `{"kind":"run","run":{"preset":"smoke"},"chaos":{"mode":"hang"},"deadline_sec":0.2}`)
+	st := waitTerminal(t, ts, id)
+	if st.State != StateFailed || !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("hung job settled as %s (error %q), want failed with a deadline error", st.State, st.Error)
+	}
+	// The worker is free again.
+	next := submit(t, ts, quickRunSpec)
+	if st := waitTerminal(t, ts, next); st.State != StateDone {
+		t.Fatalf("job after the hang settled as %s, want done", st.State)
+	}
+}
+
+func TestChaosRejectedWhenDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, body := post(t, ts.URL+"/v1/jobs", `{"kind":"run","run":{"preset":"smoke"},"chaos":{"mode":"panic"}}`)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "chaos injection is disabled") {
+		t.Fatalf("chaos on a chaos-disabled server = %d: %s", code, body)
+	}
+	_, ts2 := newTestServer(t, Options{EnableChaos: true})
+	code, body = post(t, ts2.URL+"/v1/jobs", `{"kind":"run","run":{"preset":"smoke"},"chaos":{"mode":"frob"}}`)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "unknown chaos mode") {
+		t.Fatalf("bad chaos mode = %d: %s", code, body)
+	}
+}
+
+// TestRetriesExhaustAndCount drives the retry loop through a always-failing
+// job (a panic fires on every attempt) and checks the attempt accounting
+// and that the backoff is bounded.
+func TestRetriesExhaustAndCount(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, EnableChaos: true, RetryBaseDelay: time.Millisecond})
+	id := submit(t, ts, `{"kind":"run","run":{"preset":"smoke"},"chaos":{"mode":"panic"},"retries":2}`)
+	st := waitTerminal(t, ts, id)
+	if st.State != StateFailed {
+		t.Fatalf("job settled as %s, want failed", st.State)
+	}
+	if st.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", st.Attempts)
+	}
+}
+
+// TestDeadlineNotRetried checks that a deadline expiry consumes no retry
+// budget: retrying a job that ran out of time would only run out of time
+// again.
+func TestDeadlineNotRetried(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, EnableChaos: true, RetryBaseDelay: time.Millisecond})
+	id := submit(t, ts, `{"kind":"run","run":{"preset":"smoke"},"chaos":{"mode":"hang"},"deadline_sec":0.1,"retries":5}`)
+	st := waitTerminal(t, ts, id)
+	if st.State != StateFailed || !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("job settled as %s (error %q), want a deadline failure", st.State, st.Error)
+	}
+	if st.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (deadlines are not retried)", st.Attempts)
+	}
+}
+
+func TestSubmitRejectsBadHardeningFields(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for name, spec := range map[string]string{
+		"negative deadline": `{"kind":"run","run":{"preset":"smoke"},"deadline_sec":-1}`,
+		"negative retries":  `{"kind":"run","run":{"preset":"smoke"},"retries":-2}`,
+	} {
+		if code, body := post(t, ts.URL+"/v1/jobs", spec); code != http.StatusBadRequest {
+			t.Errorf("%s: got %d: %s", name, code, body)
+		}
+	}
+}
+
+// TestRunJobSurfacesFallbackWarning runs a scenario whose per-cell problems
+// blow a one-node solve budget and checks the job result carries the
+// greedy-fallback warning.
+func TestRunJobSurfacesFallbackWarning(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	id := submit(t, ts, `{"kind":"run","run":{"preset":"smoke","overrides":{"sim_time":4,"data_users":30,"node_budget":1}}}`)
+	st := waitTerminal(t, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("job settled as %s (error %q), want done", st.State, st.Error)
+	}
+	found := false
+	for _, w := range st.Warnings {
+		if strings.Contains(w, "greedy fallback") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("warnings = %v, want a greedy-fallback warning", st.Warnings)
+	}
+}
+
+// waitTerminal polls until the job settles, whatever the outcome.
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := jobStatus(t, ts, id)
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck at %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -88,6 +88,17 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	cw.Int(e.frame)
 	cw.F64(e.now)
 	cw.Bool(e.loadStepDone)
+	// Fault runtime: only the load-event cursor is stored — the down/derate
+	// state is a pure function of simulated time, reconstructed on resume —
+	// plus the pending-retry marks feeding Metrics.SolveRetries.
+	if e.fault != nil {
+		cw.Int(e.fault.LoadCursor())
+	} else {
+		cw.Int(0)
+	}
+	for _, p := range e.retryPend {
+		cw.Bool(p)
+	}
 	e.src.EncodeState(cw)
 	cw.Int(len(e.users))
 	cw.Int(len(e.voice))
@@ -195,6 +206,10 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	cw.I64(m.BurstsCompleted)
 	cw.I64(m.BurstsExpired)
 	cw.I64(m.SkippedCells)
+	cw.I64(m.SolveRetries)
+	cw.I64(m.FallbackSolves)
+	cw.I64(m.SpilloverHandoffs)
+	cw.I64(m.OutageCellFrames)
 	cw.I64(m.CoveredBursts)
 	cw.F64(m.BitsDelivered)
 	cw.F64(m.ObservedTime)
@@ -317,6 +332,10 @@ func (e *Engine) decodeState(rd *checkpoint.Reader) error {
 	frame := rd.Int()
 	now := rd.F64()
 	loadStepDone := rd.Bool()
+	faultLoadIdx := rd.Int()
+	for k := range e.retryPend {
+		e.retryPend[k] = rd.Bool()
+	}
 	e.src.DecodeState(rd)
 	nUsers, nVoice, nCells, width := rd.Int(), rd.Int(), rd.Int(), rd.Int()
 	if err := rd.Err(); err != nil {
@@ -324,6 +343,20 @@ func (e *Engine) decodeState(rd *checkpoint.Reader) error {
 	}
 	if frame < 0 || frame > frames {
 		return fmt.Errorf("sim: checkpoint frame %d outside the scenario's 0..%d", frame, frames)
+	}
+	if e.fault != nil {
+		// Rebuild the down/derate state as of the checkpointed run's last
+		// applyFaults: the mask is a pure function of simulated time, so
+		// advancing to the last completed frame's time reproduces it — and
+		// with it the next frame's mask-change flag — exactly. The load
+		// cursor is the one piece of fault state that is not (each event
+		// fires once), hence the stored index.
+		if frame > 0 {
+			e.fault.Advance(float64(frame-1) * e.cfg.FrameLength)
+		}
+		if err := e.fault.SetLoadCursor(faultLoadIdx); err != nil {
+			return fmt.Errorf("sim: resuming: %w", err)
+		}
 	}
 	wantWidth := 0
 	if e.winB != nil {
@@ -491,6 +524,10 @@ func (e *Engine) decodeState(rd *checkpoint.Reader) error {
 	m.BurstsCompleted = rd.I64()
 	m.BurstsExpired = rd.I64()
 	m.SkippedCells = rd.I64()
+	m.SolveRetries = rd.I64()
+	m.FallbackSolves = rd.I64()
+	m.SpilloverHandoffs = rd.I64()
+	m.OutageCellFrames = rd.I64()
 	m.CoveredBursts = rd.I64()
 	m.BitsDelivered = rd.F64()
 	m.ObservedTime = rd.F64()

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"jabasd/internal/fault"
 	"jabasd/internal/trace"
 )
 
@@ -124,6 +125,34 @@ func resumeScenarios() map[string]Config {
 	cfg.ExactPHY = true
 	cfg.SimTime = 1
 	scenarios["city-tiled-exact"] = cfg
+
+	// Fault-bearing scenarios: the middle checkpoint (frame 30 of 60 for the
+	// metro shape, t=1.5s) lands inside the outage window, so the gate proves
+	// a resume mid-outage reconstructs the fault mask, the load cursor and
+	// the spillover state byte-identically.
+	cfg = metro() // sequential + centre-cell outage + flash-crowd load event
+	cfg.Faults = &fault.Schedule{
+		Cells: []fault.CellEvent{{Cell: 0, StartSec: 1.2, EndSec: 1.8}},
+		Load:  []fault.LoadEvent{{AtSec: 1.0, ReadingTimeSec: 1}},
+	}
+	scenarios["seq-fast-outage"] = cfg
+
+	cfg = metro() // snapshot + derated centre + neighbour outage
+	cfg.FrameMode = FrameSnapshot
+	cfg.FrameParallel = 2
+	cfg.Faults = &fault.Schedule{
+		Cells: []fault.CellEvent{
+			{Cell: 0, StartSec: 0.8, EndSec: 2.2, Derate: 0.4},
+			{Cell: 3, StartSec: 1.2, EndSec: 1.8},
+		},
+	}
+	scenarios["snap-outage-derate"] = cfg
+
+	cfg = city() // tiled + windowed + outage crossing the mid checkpoint
+	cfg.Faults = &fault.Schedule{
+		Cells: []fault.CellEvent{{Cell: 0, StartSec: 0.6, EndSec: 0.9}},
+	}
+	scenarios["city-tiled-outage"] = cfg
 
 	return scenarios
 }

@@ -14,6 +14,7 @@ import (
 
 	"jabasd/internal/channel"
 	"jabasd/internal/core"
+	"jabasd/internal/fault"
 	"jabasd/internal/mac"
 	"jabasd/internal/trace"
 	"jabasd/internal/traffic"
@@ -271,6 +272,21 @@ type Config struct {
 	// (see LoadStep); nil leaves the traffic stationary.
 	LoadStep *LoadStep
 
+	// Faults, when non-nil, injects the piecewise fault schedule (cell
+	// outages, transmit-power derating, offered-load curves — see
+	// internal/fault) into the run. Semantic: it changes results, is part
+	// of the checkpoint's scenario hash, and its effects stay byte-identical
+	// for any FrameParallel/Tiles. A nil or empty schedule leaves every
+	// output bit-identical to a fault-free build.
+	Faults *fault.Schedule
+	// SolveNodeBudget, when positive, bounds each exact JABA-SD solve at
+	// that many branch-and-bound nodes; a capped solve degrades to the
+	// greedy schedule deterministically (counted in Metrics.FallbackSolves,
+	// traced as "fallback"). Node counts are a pure function of the
+	// problem, so this is the deterministic analogue of a per-frame solver
+	// time budget. 0 means unbounded; other schedulers ignore it.
+	SolveNodeBudget int
+
 	// Coverage accounting: a completed burst counts as "covered" when its
 	// average served rate meets this fraction of the FCH rate.
 	CoverageRateFraction float64
@@ -406,6 +422,15 @@ func (c Config) Validate() error {
 		}
 		if ls.ReadingTimeSec <= 0 {
 			fail("LoadStep.ReadingTimeSec must be positive")
+		}
+	}
+	if c.SolveNodeBudget < 0 {
+		fail("SolveNodeBudget must be >= 0")
+	}
+	if c.Faults != nil {
+		cells := 1 + 3*c.Rings*(c.Rings+1)
+		if err := c.Faults.Validate(cells, c.SimTime); err != nil {
+			errs = append(errs, err)
 		}
 	}
 	if c.UseFixedRatePHY && (c.FixedRateMode < 1 || c.FixedRateMode > c.VTAOC.NumModes) {

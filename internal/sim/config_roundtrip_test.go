@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"jabasd/internal/fault"
 )
 
 // TestConfigJSONRoundTripEveryField walks the Config type with reflection,
@@ -16,8 +18,12 @@ import (
 // as JSON — can never silently drop scenario state.
 func TestConfigJSONRoundTripEveryField(t *testing.T) {
 	base := DefaultConfig()
-	// Give the one optional pointer a value so its leaves are walkable.
+	// Give the optional pointers values so their leaves are walkable.
 	base.LoadStep = &LoadStep{AtSec: 1.5, ReadingTimeSec: 3}
+	base.Faults = &fault.Schedule{
+		Cells: []fault.CellEvent{{Cell: 1, StartSec: 5, EndSec: 10, Derate: 0.5}},
+		Load:  []fault.LoadEvent{{AtSec: 2, ReadingTimeSec: 6}},
+	}
 
 	var leaves []string
 	var excluded []string
@@ -57,10 +63,15 @@ func TestConfigJSONRoundTripEveryField(t *testing.T) {
 
 	for _, path := range leaves {
 		cfg := base
-		// The pointer is shared with base; give this copy its own so the
+		// The pointers are shared with base; give this copy its own so the
 		// perturbation does not leak across cases.
 		ls := *base.LoadStep
 		cfg.LoadStep = &ls
+		fs := fault.Schedule{
+			Cells: append([]fault.CellEvent(nil), base.Faults.Cells...),
+			Load:  append([]fault.LoadEvent(nil), base.Faults.Load...),
+		}
+		cfg.Faults = &fs
 		perturbConfigLeaf(t, &cfg, path)
 		if reflect.DeepEqual(cfg, base) {
 			t.Fatalf("%s: perturbation was a no-op", path)
@@ -109,6 +120,8 @@ func perturbConfigLeaf(t *testing.T, cfg *Config, path string) {
 		}
 	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
 		v.SetUint(v.Uint() + 5)
+	case reflect.Slice:
+		v.Set(reflect.Append(v, reflect.Zero(v.Type().Elem())))
 	case reflect.String:
 		switch v.Type().Name() {
 		case "FrameMode":

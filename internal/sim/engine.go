@@ -8,6 +8,7 @@ import (
 	"jabasd/internal/cellular"
 	"jabasd/internal/channel"
 	"jabasd/internal/core"
+	"jabasd/internal/fault"
 	"jabasd/internal/load"
 	"jabasd/internal/mac"
 	"jabasd/internal/mathx"
@@ -196,6 +197,21 @@ type Engine struct {
 	// loadStepDone latches cfg.LoadStep so the step applies exactly once.
 	loadStepDone bool
 
+	// fault, non-nil when cfg.Faults carries events, is the per-frame fault
+	// state (down mask, derate vector, load-event cursor — see fault.go).
+	// faultDirty and anyDown are its per-frame digests, recomputed by
+	// applyFaults and read-only for the rest of the frame.
+	fault      *fault.State
+	faultDirty bool
+	anyDown    bool
+
+	// retryPend marks cells whose last attempted solve was skipped (region
+	// build or scheduler failure); a subsequent successful solve counts as a
+	// recovered retry in Metrics.SolveRetries. The queue keeps the requests
+	// either way — the admission layer retries a failed cell next frame by
+	// construction — this makes the recovery observable.
+	retryPend []bool
+
 	metrics *Metrics
 	now     float64
 	frame   int
@@ -210,6 +226,7 @@ type traceCell struct {
 	completed    int
 	delaySum     float64
 	active       int
+	spill        int
 	solve        string
 }
 
@@ -244,11 +261,12 @@ type frameWorker struct {
 // commit phase applies it in cell-index order. The slices are reused
 // buffers; only entries with a positive ratio are recorded.
 type cellGrants struct {
-	cell    int
-	skipped bool // region build or scheduler failed; counted, not granted
-	offered int  // live requests gathered, for the telemetry trace
-	users   []*dataUser
-	ratios  []int
+	cell     int
+	skipped  bool // region build or scheduler failed; counted, not granted
+	fallback bool // exact solve hit its node budget; grants are greedy's
+	offered  int  // live requests gathered, for the telemetry trace
+	users    []*dataUser
+	ratios   []int
 	// prob is the deep-copied solve-trace record (nil unless tracing):
 	// captured by the worker, emitted by the sequential commit phase so the
 	// stream order never depends on worker scheduling.
@@ -283,6 +301,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if j, ok := sched.(*core.JABASD); ok {
+		// Graceful degradation: bound the exact solve's node count; a capped
+		// solve falls back to the greedy schedule (see core.JABASD.NodeBudget).
+		// Clone() carries the budget, so snapshot/tiled workers degrade at
+		// exactly the same point.
+		j.NodeBudget = cfg.SolveNodeBudget
+	}
 	layout := cellular.NewHexLayout(cfg.Rings, cfg.CellRadius, cfg.WrapAround)
 	w, h := layout.Bounds()
 	e := &Engine{
@@ -315,6 +340,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 	for k := range e.queues {
 		e.queues[k] = traffic.NewQueue()
 	}
+	e.fault = newFaultState(cfg, layout.NumCells())
+	e.retryPend = make([]bool, layout.NumCells())
 	e.loads = load.NewLedger(layout.NumCells())
 	if cfg.Trace != nil {
 		e.rec = trace.NewRecorder(cfg.Trace, cfg.TraceEvery)
@@ -481,9 +508,11 @@ func (e *Engine) step() {
 	if e.traceCells != nil {
 		clear(e.traceCells)
 	}
+	e.applyFaults()
 	e.applyLoadStep()
 	e.updateVoice(dt)
 	e.updateUsers(dt)
+	e.migrateQueued()
 	e.generateTraffic(dt)
 	e.accumulateLoads()
 	e.serveBursts(dt)
@@ -541,10 +570,13 @@ func (e *Engine) updateVoice(dt float64) {
 // cells — the index is exhaustively tested to return the very cell the
 // linear scans would, tie-breaks included, so the choice of search is
 // invisible in the results.
+// Under a fault schedule a voice user on an out-of-service cell hands off
+// to the nearest surviving cell; paused users re-run the search on frames
+// where the down mask changed, so recovery hands them cleanly back.
 func (e *Engine) advanceVoice(v *voiceUser, dt float64) {
 	v.model.Advance(dt)
 	travelled := v.mob.Advance(dt)
-	if travelled <= 0 && v.cell >= 0 {
+	if travelled <= 0 && v.cell >= 0 && !e.faultDirty {
 		return
 	}
 	pos := v.mob.Position()
@@ -557,6 +589,9 @@ func (e *Engine) advanceVoice(v *voiceUser, dt float64) {
 		v.cell = e.layout.NearestCell(pos)
 	default:
 		v.cell = e.layout.NearestCellSq(pos)
+	}
+	if e.anyDown && e.fault.Down[v.cell] {
+		v.cell = e.nearestUpCell(pos, v.cell)
 	}
 }
 
@@ -610,6 +645,10 @@ func (e *Engine) updateUserExact(u *dataUser, dt float64) {
 	travelled := e.mobB.Advance(u.id, dt)
 	if travelled == 0 && e.chanB.Ready(u.id) {
 		e.chanB.AdvancePausedExact(u.id)
+		if e.faultDirty {
+			e.refreshPausedUser(u)
+			return
+		}
 		u.macM.AdvanceTo(e.now)
 		return
 	}
@@ -617,6 +656,7 @@ func (e *Engine) updateUserExact(u *dataUser, dt float64) {
 	e.layout.DistancesInto(pos, e.chanB.DistRow(u.id))
 	e.chanB.AdvanceExact(u.id, travelled)
 	u.pilots = cellular.PilotSetInto(u.pilots, u.gain, e.cfg.PilotFraction, e.cfg.MaxCellPowerW, e.cfg.NoiseW)
+	e.filterDownPilots(u)
 	u.active = cellular.ActiveSetInto(u.active, u.pilots, e.cfg.SoftHandoffAddDB, e.cfg.PilotMinEcIoDB, 3)
 	e.finishMeasurements(u)
 }
@@ -631,6 +671,10 @@ func (e *Engine) updateUserExact(u *dataUser, dt float64) {
 func (e *Engine) updateUserFast(u *dataUser, dt float64) {
 	travelled := e.mobB.Advance(u.id, dt)
 	if travelled == 0 && e.chanB.Ready(u.id) {
+		if e.faultDirty {
+			e.refreshPausedUser(u)
+			return
+		}
 		u.macM.AdvanceTo(e.now)
 		return
 	}
@@ -638,6 +682,7 @@ func (e *Engine) updateUserFast(u *dataUser, dt float64) {
 	e.layout.DistancesSqInto(pos, e.chanB.DistRow(u.id))
 	dirty := e.chanB.AdvanceFast(u.id, travelled, e.cfg.RegionEpsilon)
 	u.pilots = cellular.PilotSetLinearInto(u.pilots, u.gain, e.cfg.PilotFraction, e.cfg.MaxCellPowerW, e.cfg.NoiseW)
+	e.filterDownPilots(u)
 	u.active = cellular.ActiveSetLinearInto(u.active, u.pilots, e.addFactor, e.minEcIo, 3)
 	e.finishMeasurements(u)
 	if !dirty {
@@ -856,21 +901,23 @@ func (e *Engine) admitSequential() {
 	loads := e.loads.Values() // live: commits below mutate it in place
 	for k := 0; k < e.layout.NumCells(); k++ {
 		queue := e.queues[k]
-		if queue.Len() == 0 {
+		if queue.Len() == 0 || e.cellDown(k) {
 			continue
 		}
 		if !e.gatherCell(k, &e.admitScratch, loads) {
 			continue
 		}
-		e.traceSolve(k, len(e.admitScratch.reqs), false)
 		assignment, err := e.solveCell(k, &e.admitScratch, &e.regionB, e.scheduler, e.incr, loads)
 		if err != nil {
 			// Skip this cell this frame rather than abort the run, but leave
-			// a trace: a persistently skipped cell is a misconfiguration.
-			e.metrics.SkippedCells++
-			e.traceSolve(k, len(e.admitScratch.reqs), true)
+			// a trace: the queue keeps the requests, so the cell is retried
+			// next frame (noteSolve counts the recovery when it lands).
+			e.noteSolve(k, true, false)
+			e.traceSolve(k, len(e.admitScratch.reqs), true, false)
 			continue
 		}
+		e.noteSolve(k, false, assignment.Fallback)
+		e.traceSolve(k, len(e.admitScratch.reqs), false, assignment.Fallback)
 		if e.solveRec != nil {
 			e.solveRec.Emit(replay.CopyProblem(e.frame, e.now, k, e.admitScratch.reqs, e.admitScratch.region, assignment.Ratios))
 		}
@@ -878,18 +925,42 @@ func (e *Engine) admitSequential() {
 	}
 }
 
+// noteSolve folds one attempted cell-solve's outcome into the robustness
+// counters: a skip marks the cell pending retry, a success after a skip is
+// a recovered retry, and a budget-capped exact solve that degraded to the
+// greedy schedule counts as a fallback. Called only from the sequential
+// commit sections, so the counters are deterministic for any worker count.
+func (e *Engine) noteSolve(k int, skipped, fallback bool) {
+	if skipped {
+		e.metrics.SkippedCells++
+		e.retryPend[k] = true
+		return
+	}
+	if e.retryPend[k] {
+		e.retryPend[k] = false
+		e.metrics.SolveRetries++
+	}
+	if fallback {
+		e.metrics.FallbackSolves++
+	}
+}
+
 // traceSolve records one cell's admission outcome for the telemetry trace:
-// the number of live requests gathered and whether the solve was abandoned.
-// Cells that never gathered a live request stay at trace.SolveIdle.
-func (e *Engine) traceSolve(cell, offered int, skipped bool) {
+// the number of live requests gathered and whether the solve was abandoned
+// or degraded to the greedy fallback. Cells that never gathered a live
+// request stay at trace.SolveIdle.
+func (e *Engine) traceSolve(cell, offered int, skipped, fallback bool) {
 	if e.traceCells == nil {
 		return
 	}
 	tc := &e.traceCells[cell]
 	tc.offered = offered
-	if skipped {
+	switch {
+	case skipped:
 		tc.solve = trace.SolveSkipped
-	} else if offered > 0 {
+	case fallback:
+		tc.solve = trace.SolveFallback
+	case offered > 0:
 		tc.solve = trace.SolveOK
 	}
 }
@@ -907,7 +978,7 @@ func (e *Engine) traceSolve(cell, offered int, skipped bool) {
 func (e *Engine) admitSnapshot() {
 	e.active = e.active[:0]
 	for k := 0; k < e.layout.NumCells(); k++ {
-		if e.queues[k].Len() > 0 {
+		if e.queues[k].Len() > 0 && !e.cellDown(k) {
 			e.active = append(e.active, k)
 		}
 	}
@@ -921,6 +992,7 @@ func (e *Engine) admitSnapshot() {
 		g := &e.grants[i]
 		g.cell = k
 		g.skipped = false
+		g.fallback = false
 		g.offered = 0
 		g.users = g.users[:0]
 		g.ratios = g.ratios[:0]
@@ -937,6 +1009,7 @@ func (e *Engine) admitSnapshot() {
 			g.skipped = true
 			return
 		}
+		g.fallback = assignment.Fallback
 		if e.solveRec != nil {
 			g.prob = replay.CopyProblem(e.frame, e.now, k, fw.scratch.reqs, fw.scratch.region, assignment.Ratios)
 		}
@@ -956,10 +1029,13 @@ func (e *Engine) admitSnapshot() {
 	}
 	for i := range e.active {
 		g := &e.grants[i]
-		e.traceSolve(g.cell, g.offered, g.skipped)
+		e.traceSolve(g.cell, g.offered, g.skipped, g.fallback)
 		if g.skipped {
-			e.metrics.SkippedCells++
+			e.noteSolve(g.cell, true, false)
 			continue
+		}
+		if g.offered > 0 {
+			e.noteSolve(g.cell, false, g.fallback)
 		}
 		if g.prob != nil {
 			e.solveRec.Emit(g.prob)
@@ -1085,9 +1161,17 @@ func (e *Engine) solveCell(k int, s *admitScratch, rb *measurement.RegionBuilder
 	var err error
 	switch e.cfg.Direction {
 	case Forward:
+		maxLoad := e.cfg.MaxCellPowerW
+		if e.fault != nil {
+			// Degraded cell: the forward budget is the derated transmit
+			// power. Derate is 1 for healthy cells (exact multiply by 1, no
+			// bit drift) and the incremental cache recomputes its bounds
+			// from MaxLoad on every reuse, so no invalidation is needed.
+			maxLoad *= e.fault.Derate[k]
+		}
 		state := measurement.ForwardState{
 			CurrentLoad: loads,
-			MaxLoad:     e.cfg.MaxCellPowerW,
+			MaxLoad:     maxLoad,
 			GammaS:      e.cfg.RatePlan.GammaS,
 		}
 		if incr != nil {
@@ -1206,6 +1290,10 @@ func (e *Engine) emitTrace() {
 		if solve == "" {
 			solve = trace.SolveIdle
 		}
+		down := 0
+		if e.cellDown(k) {
+			down = 1
+		}
 		e.rec.Emit(trace.Record{
 			Frame:        e.frame,
 			TimeS:        e.now,
@@ -1218,6 +1306,8 @@ func (e *Engine) emitTrace() {
 			QueueLen:     e.queues[k].Len(),
 			ActiveBursts: tc.active,
 			Load:         e.loads.Get(k) / budget,
+			Down:         down,
+			Spill:        tc.spill,
 			Solve:        solve,
 		})
 	}

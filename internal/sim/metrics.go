@@ -39,6 +39,24 @@ type Metrics struct {
 	// included); a persistently non-zero count means the configuration is
 	// feeding the admission layer inconsistent measurements.
 	SkippedCells int64
+	// SolveRetries counts cell-frames that recovered after a skip: the queue
+	// keeps a skipped cell's requests, the cell is re-solved the next frame
+	// it gathers any, and the first success clears the pending-retry mark.
+	// SkippedCells - SolveRetries therefore bounds the still-unrecovered
+	// skips at the end of the run.
+	SolveRetries int64
+	// FallbackSolves counts cell-frames where the exact JABA-SD solve hit
+	// its node budget (Config.SolveNodeBudget) and the grants came from the
+	// deterministic greedy fallback instead. Zero when no budget is set.
+	FallbackSolves int64
+	// SpilloverHandoffs counts burst requests migrated from an
+	// out-of-service cell's queue to their owner's surviving host cell
+	// (fault schedules only; warm-up included, like the trace).
+	SpilloverHandoffs int64
+	// OutageCellFrames counts (cell, frame) pairs spent out of service under
+	// the fault schedule — the denominator for spillover and degradation
+	// rates. Zero without a schedule.
+	OutageCellFrames int64
 
 	// CoveredBursts counts completed bursts whose average served rate met the
 	// coverage threshold; coverage = CoveredBursts / BurstsCompleted.
@@ -108,7 +126,12 @@ type Aggregate struct {
 	// SkippedCells is the per-replication count of abandoned cell-frames
 	// (see Metrics.SkippedCells); any non-zero mean deserves a look.
 	SkippedCells stats.Running
-	Replications int
+	// FallbackSolves and SpilloverHandoffs mirror their Metrics counters per
+	// replication: budget-capped solves degraded to greedy, and requests
+	// migrated off out-of-service cells.
+	FallbackSolves    stats.Running
+	SpilloverHandoffs stats.Running
+	Replications      int
 }
 
 // AddReplication folds one replication's metrics into the aggregate.
@@ -126,6 +149,8 @@ func (a *Aggregate) AddReplication(m *Metrics) {
 	a.AssignedRatio.Add(m.AssignedRatio.Mean())
 	a.CompletionRate.Add(m.CompletionRatio())
 	a.SkippedCells.Add(float64(m.SkippedCells))
+	a.FallbackSolves.Add(float64(m.FallbackSolves))
+	a.SpilloverHandoffs.Add(float64(m.SpilloverHandoffs))
 	a.Replications++
 }
 

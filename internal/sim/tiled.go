@@ -96,7 +96,7 @@ func (e *Engine) admitTiled() {
 	for _, t := range e.tiles {
 		t.active = t.active[:0]
 		for k := t.span.Lo; k < t.span.Hi; k++ {
-			if e.queues[k].Len() > 0 {
+			if e.queues[k].Len() > 0 && !e.cellDown(k) {
 				t.active = append(t.active, k)
 			}
 		}
@@ -114,6 +114,7 @@ func (e *Engine) admitTiled() {
 			g := &t.grants[i]
 			g.cell = k
 			g.skipped = false
+			g.fallback = false
 			g.offered = 0
 			g.users = g.users[:0]
 			g.ratios = g.ratios[:0]
@@ -130,6 +131,7 @@ func (e *Engine) admitTiled() {
 				g.skipped = true
 				continue
 			}
+			g.fallback = assignment.Fallback
 			if e.solveRec != nil {
 				g.prob = replay.CopyProblem(e.frame, e.now, k, t.worker.scratch.reqs, t.worker.scratch.region, assignment.Ratios)
 			}
@@ -151,10 +153,13 @@ func (e *Engine) admitTiled() {
 	for _, t := range e.tiles {
 		for i := range t.active {
 			g := &t.grants[i]
-			e.traceSolve(g.cell, g.offered, g.skipped)
+			e.traceSolve(g.cell, g.offered, g.skipped, g.fallback)
 			if g.skipped {
-				e.metrics.SkippedCells++
+				e.noteSolve(g.cell, true, false)
 				continue
+			}
+			if g.offered > 0 {
+				e.noteSolve(g.cell, false, g.fallback)
 			}
 			if g.prob != nil {
 				e.solveRec.Emit(g.prob)

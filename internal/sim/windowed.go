@@ -40,6 +40,10 @@ func (e *Engine) updateUserExactWin(u *dataUser, dt float64) {
 	travelled := e.mobB.Advance(u.id, dt)
 	if travelled == 0 && e.chanB.Ready(u.id) {
 		e.chanB.AdvancePausedExact(u.id)
+		if e.faultDirty {
+			e.refreshPausedUser(u)
+			return
+		}
 		u.macM.AdvanceTo(e.now)
 		return
 	}
@@ -50,6 +54,7 @@ func (e *Engine) updateUserExactWin(u *dataUser, dt float64) {
 	e.layout.DistancesForInto(pos, u.cand, e.chanB.DistRow(u.id))
 	e.chanB.AdvanceExact(u.id, travelled)
 	u.pilots = cellular.PilotSetCellsInto(u.pilots, u.cand, u.gain, e.cfg.PilotFraction, e.cfg.MaxCellPowerW, e.cfg.NoiseW)
+	e.filterDownPilots(u)
 	u.active = cellular.ActiveSetInto(u.active, u.pilots, e.cfg.SoftHandoffAddDB, e.cfg.PilotMinEcIoDB, 3)
 	e.finishMeasurementsWin(u)
 }
@@ -62,6 +67,10 @@ func (e *Engine) updateUserExactWin(u *dataUser, dt float64) {
 func (e *Engine) updateUserFastWin(u *dataUser, dt float64) {
 	travelled := e.mobB.Advance(u.id, dt)
 	if travelled == 0 && e.chanB.Ready(u.id) {
+		if e.faultDirty {
+			e.refreshPausedUser(u)
+			return
+		}
 		u.macM.AdvanceTo(e.now)
 		return
 	}
@@ -73,6 +82,7 @@ func (e *Engine) updateUserFastWin(u *dataUser, dt float64) {
 	e.layout.DistancesSqForInto(pos, u.cand, e.chanB.DistRow(u.id))
 	dirty := e.chanB.AdvanceFast(u.id, travelled, e.cfg.RegionEpsilon) || retargeted
 	u.pilots = cellular.PilotSetCellsLinearInto(u.pilots, u.cand, u.gain, e.cfg.PilotFraction, e.cfg.MaxCellPowerW, e.cfg.NoiseW)
+	e.filterDownPilots(u)
 	u.active = cellular.ActiveSetLinearInto(u.active, u.pilots, e.addFactor, e.minEcIo, 3)
 	e.finishMeasurementsWin(u)
 	if !dirty {

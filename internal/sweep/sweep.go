@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"jabasd/internal/core"
+	"jabasd/internal/fault"
 	"jabasd/internal/scenario"
 	"jabasd/internal/sim"
 )
@@ -149,6 +150,20 @@ func axisDefs() []axisDef {
 				default:
 					return fmt.Errorf("want sequential or snapshot, got %q", v)
 				}
+			},
+		},
+		{
+			name: "faultprofile", usage: "fault schedule profile: " + strings.Join(fault.Profiles(), ", "),
+			apply: func(cfg *sim.Config, v string) error {
+				// Scaled to the point's own run length, so the axis composes
+				// with a sim-time override or a preset's SimTime.
+				cells := 1 + 3*cfg.Rings*(cfg.Rings+1)
+				sched, err := fault.Profile(v, cells, cfg.SimTime, cfg.Data.MeanReadingTimeSec)
+				if err != nil {
+					return err
+				}
+				cfg.Faults = sched
+				return nil
 			},
 		},
 		{

@@ -313,7 +313,7 @@ func TestPaperLoadSweepEndToEnd(t *testing.T) {
 
 func TestAxesListing(t *testing.T) {
 	names := AxisNames()
-	if len(names) != 7 {
+	if len(names) != 8 {
 		t.Errorf("axis names %v", names)
 	}
 	lines := Axes()

@@ -88,6 +88,10 @@ func (s *JSONLSink) Write(records []Record) error {
 		sb.WriteString(itoa(r.ActiveBursts))
 		sb.WriteString(`,"load":`)
 		sb.WriteString(formatFloat(r.Load))
+		sb.WriteString(`,"down":`)
+		sb.WriteString(itoa(r.Down))
+		sb.WriteString(`,"spill":`)
+		sb.WriteString(itoa(r.Spill))
 		sb.WriteString(`,"solve":"`)
 		sb.WriteString(r.Solve) // solve statuses never need JSON escaping
 		sb.WriteString("\"}\n")

@@ -33,8 +33,13 @@ const (
 	SolveOK = "ok"
 	// SolveSkipped means the region build or the scheduler failed and the
 	// cell's admission was abandoned for this frame (counted in
-	// sim.Metrics.SkippedCells).
+	// sim.Metrics.SkippedCells); the queue keeps the requests, so the cell
+	// is retried next frame.
 	SolveSkipped = "skipped"
+	// SolveFallback means the exact scheduler hit its node budget
+	// (sim.Config.SolveNodeBudget) and this frame's grants came from the
+	// deterministic greedy fallback (counted in sim.Metrics.FallbackSolves).
+	SolveFallback = "fallback"
 )
 
 // Record is one cell's telemetry for one sampled frame.
@@ -67,7 +72,13 @@ type Record struct {
 	// budget (transmit power for the forward link, rise-over-thermal for the
 	// reverse link). It can exceed 1 transiently in the snapshot frame mode.
 	Load float64
-	// Solve is the admission outcome: SolveIdle, SolveOK or SolveSkipped.
+	// Down is 1 while the cell is out of service under the fault schedule
+	// (sim.Config.Faults), else 0. Spill counts burst requests migrated
+	// INTO this cell's queue this frame from out-of-service cells.
+	Down  int
+	Spill int
+	// Solve is the admission outcome: SolveIdle, SolveOK, SolveFallback or
+	// SolveSkipped.
 	Solve string
 }
 
@@ -76,7 +87,8 @@ type Record struct {
 func Columns() []string {
 	return []string{
 		"frame", "time_s", "cell", "offered", "admitted", "granted_ratio",
-		"completed", "delay_sum_s", "queue_len", "active_bursts", "load", "solve",
+		"completed", "delay_sum_s", "queue_len", "active_bursts", "load",
+		"down", "spill", "solve",
 	}
 }
 
@@ -96,6 +108,8 @@ func (r Record) AppendRow(dst []string) []string {
 		strconv.Itoa(r.QueueLen),
 		strconv.Itoa(r.ActiveBursts),
 		formatFloat(r.Load),
+		strconv.Itoa(r.Down),
+		strconv.Itoa(r.Spill),
 		r.Solve,
 	)
 }

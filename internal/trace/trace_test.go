@@ -97,7 +97,7 @@ func TestCSVSink(t *testing.T) {
 	if lines[0] != wantHead {
 		t.Fatalf("header = %q, want %q", lines[0], wantHead)
 	}
-	if lines[1] != "0,0,0,2,1,4,1,0.25,1,2,0.75,ok" {
+	if lines[1] != "0,0,0,2,1,4,1,0.25,1,2,0.75,0,0,ok" {
 		t.Fatalf("row = %q", lines[1])
 	}
 	if cols := strings.Split(lines[2], ","); len(cols) != len(Columns()) {
